@@ -1,0 +1,27 @@
+# Convenience targets; everything is plain dune underneath.
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/data_exchange.exe
+	dune exec examples/ontology_reasoning.exe
+	dune exec examples/termination_gallery.exe
+	dune exec examples/sticky_analysis.exe
+	dune exec examples/fairness_demo.exe
+	dune exec examples/chase_variants.exe
+
+gallery:
+	dune exec examples/termination_gallery.exe
+
+clean:
+	dune clean
+
+.PHONY: all test bench examples gallery clean
