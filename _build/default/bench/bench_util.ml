@@ -1,0 +1,60 @@
+(* Shared helpers for the benchmark harness: Bechamel-based timing and
+   plain-text table rendering. *)
+
+let measure_ns ?(quota = 0.25) name fn =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage fn) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let tbl = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let est = ref nan in
+  Hashtbl.iter
+    (fun _ v -> match Analyze.OLS.estimates v with Some (x :: _) -> est := x | _ -> ())
+    tbl;
+  !est
+
+let pretty_ns ns =
+  if Float.is_nan ns then "n/a"
+  else if ns < 1e3 then Printf.sprintf "%.0f ns" ns
+  else if ns < 1e6 then Printf.sprintf "%.1f µs" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else Printf.sprintf "%.2f s" (ns /. 1e9)
+
+(* One-shot wall-clock for heavyweight runs where Bechamel sampling would
+   be too slow.  Reported in the same pretty format. *)
+let once_ns fn =
+  let t0 = Unix.gettimeofday () in
+  ignore (fn ());
+  let t1 = Unix.gettimeofday () in
+  (t1 -. t0) *. 1e9
+
+(* Minimal fixed-width table printer. *)
+let table ~title ~header rows =
+  let ncols = List.length header in
+  let widths = Array.make ncols 0 in
+  List.iteri (fun i h -> widths.(i) <- String.length h) header;
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < ncols && String.length cell > widths.(i) then widths.(i) <- String.length cell)
+        row)
+    rows;
+  let print_row cells =
+    let padded =
+      List.mapi
+        (fun i c -> c ^ String.make (max 0 (widths.(i) - String.length c)) ' ')
+        cells
+    in
+    print_endline ("  " ^ String.concat "  " padded)
+  in
+  Printf.printf "\n## %s\n\n" title;
+  print_row header;
+  print_row (List.mapi (fun i _ -> String.make widths.(i) '-') header);
+  List.iter print_row rows;
+  print_newline ()
+
+let program src =
+  let p = Chase_parser.Parser.parse_program src in
+  (Chase_parser.Program.tgds p, Chase_parser.Program.database p)

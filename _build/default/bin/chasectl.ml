@@ -1,0 +1,311 @@
+(* chasectl — the command-line surface of the library.
+
+     chasectl classify FILE          class membership report
+     chasectl chase FILE             run a chase engine, print the result
+     chasectl decide FILE            decide all-instances restricted
+                                     chase termination (the paper's problem)
+     chasectl query FILE -q QUERY    certain answers via materialization
+     chasectl automaton FILE         sticky Büchi automaton anatomy
+     chasectl scenarios              list the built-in scenario gallery
+
+   FILE contains TGDs and facts in the surface syntax; use '-' for stdin. *)
+
+open Cmdliner
+
+let read_input path =
+  if String.equal path "-" then In_channel.input_all In_channel.stdin
+  else In_channel.with_open_bin path In_channel.input_all
+
+let load path =
+  let src = read_input path in
+  match Chase_parser.Parser.parse_program src with
+  | p -> Ok p
+  | exception Chase_parser.Parser.Error { line; col; msg } ->
+      Error (Printf.sprintf "%s:%d:%d: %s" path line col msg)
+  | exception Chase_parser.Lexer.Error { line; col; msg } ->
+      Error (Printf.sprintf "%s:%d:%d: %s" path line col msg)
+
+let file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Program file ('-' for stdin).")
+
+let or_die = function
+  | Ok x -> x
+  | Error msg ->
+      prerr_endline msg;
+      exit 2
+
+(* --- classify -------------------------------------------------------- *)
+
+let classify_cmd =
+  let run file =
+    let p = or_die (load file) in
+    let report = Chase_classes.Classification.classify (Chase_parser.Program.tgds p) in
+    Format.printf "%a@." Chase_classes.Classification.pp report
+  in
+  Cmd.v (Cmd.info "classify" ~doc:"Report class membership (guarded, sticky, …).")
+    Term.(const run $ file_arg)
+
+(* --- chase ----------------------------------------------------------- *)
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("restricted", `Restricted); ("oblivious", `Oblivious); ("semi", `Semi) ])
+        `Restricted
+    & info [ "engine" ] ~docv:"ENGINE" ~doc:"Chase engine: restricted, oblivious or semi.")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt (enum [ ("fifo", `Fifo); ("lifo", `Lifo); ("random", `Random) ]) `Fifo
+    & info [ "strategy" ] ~docv:"S" ~doc:"Restricted-chase trigger strategy.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random strategy seed.")
+
+let max_steps_arg =
+  Arg.(value & opt int 10_000 & info [ "max-steps" ] ~docv:"N" ~doc:"Step budget.")
+
+let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Print the derivation trace.")
+
+let chase_cmd =
+  let run file engine strategy seed max_steps trace =
+    let p = or_die (load file) in
+    let tgds = Chase_parser.Program.tgds p in
+    let db = Chase_parser.Program.database p in
+    match engine with
+    | `Restricted ->
+        let strategy =
+          match strategy with
+          | `Fifo -> Chase_engine.Restricted.Fifo
+          | `Lifo -> Chase_engine.Restricted.Lifo
+          | `Random -> Chase_engine.Restricted.Random seed
+        in
+        let d = Chase_engine.Restricted.run ~strategy ~max_steps tgds db in
+        if trace then Format.printf "%a@." Chase_engine.Derivation.pp d
+        else begin
+          Format.printf "%a@." Chase_core.Instance.pp (Chase_engine.Derivation.final d);
+          Format.printf "steps: %d, status: %s@."
+            (Chase_engine.Derivation.length d)
+            (match Chase_engine.Derivation.status d with
+            | Chase_engine.Derivation.Terminated -> "terminated"
+            | Chase_engine.Derivation.Out_of_budget -> "out of budget")
+        end
+    | (`Oblivious | `Semi) as v ->
+        let variant =
+          match v with
+          | `Oblivious -> Chase_engine.Oblivious.Oblivious
+          | `Semi -> Chase_engine.Oblivious.Semi_oblivious
+        in
+        let r = Chase_engine.Oblivious.run ~variant ~max_steps tgds db in
+        Format.printf "%a@." Chase_core.Instance.pp r.Chase_engine.Oblivious.instance;
+        Format.printf "applications: %d, saturated: %b@." r.Chase_engine.Oblivious.applications
+          r.Chase_engine.Oblivious.saturated
+  in
+  Cmd.v (Cmd.info "chase" ~doc:"Run a chase engine on the program's database.")
+    Term.(const run $ file_arg $ engine_arg $ strategy_arg $ seed_arg $ max_steps_arg $ trace_arg)
+
+(* --- decide ---------------------------------------------------------- *)
+
+let decide_cmd =
+  let run file =
+    let p = or_die (load file) in
+    let report = Chase_termination.Decider.decide (Chase_parser.Program.tgds p) in
+    Format.printf "%a@." Chase_termination.Decider.pp report;
+    match report.Chase_termination.Decider.answer with
+    | Chase_termination.Decider.Terminating -> exit 0
+    | Chase_termination.Decider.Non_terminating -> exit 1
+    | Chase_termination.Decider.Unknown -> exit 3
+  in
+  Cmd.v
+    (Cmd.info "decide"
+       ~doc:
+         "Decide all-instances restricted chase termination (exit 0 = terminating, 1 = \
+          non-terminating, 3 = unknown).")
+    Term.(const run $ file_arg)
+
+(* --- query ----------------------------------------------------------- *)
+
+let query_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "q"; "query" ] ~docv:"QUERY" ~doc:"CQ as 'body -> ans(X,...).'")
+
+let query_cmd =
+  let run file query max_steps =
+    let p = or_die (load file) in
+    let tgds = Chase_parser.Program.tgds p in
+    let database = Chase_parser.Program.database p in
+    let q = Chase_query.Conjunctive_query.parse query in
+    match Chase_query.Certain_answers.compute_checked ~max_steps ~tgds ~database q with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok r ->
+        List.iter
+          (fun t -> print_endline (Chase_query.Conjunctive_query.tuple_to_string t))
+          r.Chase_query.Certain_answers.answers;
+        Format.eprintf "(%d answers; chase: %d atoms in %d steps)@."
+          (List.length r.Chase_query.Certain_answers.answers)
+          r.Chase_query.Certain_answers.chase_size r.Chase_query.Certain_answers.chase_steps
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Certain answers by chase materialization.")
+    Term.(const run $ file_arg $ query_arg $ max_steps_arg)
+
+(* --- automaton ------------------------------------------------------- *)
+
+let automaton_cmd =
+  let run file =
+    let p = or_die (load file) in
+    let tgds = Chase_parser.Program.tgds p in
+    (match Chase_classes.Stickiness.is_sticky tgds with
+    | false ->
+        prerr_endline "the TGD set is not sticky";
+        exit 2
+    | true -> ());
+    let ctx = Chase_termination.Sticky_automaton.make_context tgds in
+    let comps = Chase_termination.Sticky_automaton.components ctx in
+    Format.printf "alphabet: %d letters, components: %d@."
+      (List.length (Chase_termination.Sticky_automaton.alphabet ctx))
+      (List.length comps);
+    List.iter
+      (fun ((e, cls), a) ->
+        let s = Chase_automata.Buchi.stats a in
+        let verdict =
+          match Chase_automata.Buchi.emptiness a with
+          | Chase_automata.Buchi.Empty -> "empty"
+          | Chase_automata.Buchi.Nonempty _ -> "NONEMPTY"
+          | Chase_automata.Buchi.Budget_exceeded _ -> "budget"
+        in
+        Format.printf "  (e=%s, Π=class %d): %d states, %d transitions — %s@."
+          (Chase_core.Equality_type.to_string e)
+          cls s.Chase_automata.Buchi.states s.Chase_automata.Buchi.transitions verdict)
+      comps
+  in
+  Cmd.v (Cmd.info "automaton" ~doc:"Anatomy of the sticky Büchi automaton A_T.")
+    Term.(const run $ file_arg)
+
+(* --- ochase ---------------------------------------------------------- *)
+
+let ochase_cmd =
+  let run file max_depth dot =
+    let p = or_die (load file) in
+    let tgds = Chase_parser.Program.tgds p in
+    let db = Chase_parser.Program.database p in
+    let g = Chase_engine.Real_oblivious.build ~max_depth ~max_nodes:2_000 tgds db in
+    if dot then print_string (Chase_termination.Dot.real_oblivious g)
+    else Format.printf "%a@." Chase_engine.Real_oblivious.pp g
+  in
+  let depth_arg =
+    Arg.(value & opt int 4 & info [ "max-depth" ] ~docv:"D" ~doc:"Depth horizon.")
+  in
+  let dot_arg = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT.") in
+  Cmd.v
+    (Cmd.info "ochase" ~doc:"Materialize the real oblivious chase (Def 3.3), optionally as DOT.")
+    Term.(const run $ file_arg $ depth_arg $ dot_arg)
+
+(* --- extract --------------------------------------------------------- *)
+
+let extract_cmd =
+  let run file max_steps =
+    let p = or_die (load file) in
+    let tgds = Chase_parser.Program.tgds p in
+    let db = Chase_parser.Program.database p in
+    let d =
+      Chase_engine.Restricted.run ~strategy:Chase_engine.Restricted.Lifo ~max_steps tgds db
+    in
+    (match Chase_engine.Derivation.status d with
+    | Chase_engine.Derivation.Terminated ->
+        prerr_endline "the chase terminated: nothing to extract";
+        exit 1
+    | Chase_engine.Derivation.Out_of_budget -> ());
+    match Chase_termination.Caterpillar_extract.extract tgds d with
+    | Ok cat ->
+        Format.printf "%a@." Chase_termination.Caterpillar.pp cat;
+        Format.printf "pass-on gaps: %s@."
+          (String.concat ","
+             (List.map string_of_int (Chase_termination.Caterpillar.pass_on_gaps cat)))
+    | Error e ->
+        prerr_endline e;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "extract"
+       ~doc:"Extract a free connected caterpillar from a diverging prefix (§6.2).")
+    Term.(const run $ file_arg $ max_steps_arg)
+
+(* --- treeify --------------------------------------------------------- *)
+
+let treeify_cmd =
+  let run file dot =
+    let p = or_die (load file) in
+    let tgds = Chase_parser.Program.tgds p in
+    let db = Chase_parser.Program.database p in
+    match Chase_termination.Treeify.treeify tgds db with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok r when dot ->
+        print_string (Chase_termination.Dot.join_tree r.Chase_termination.Treeify.tree)
+    | Ok r ->
+        Format.printf "α∞ = %s@." (Chase_core.Atom.to_string r.Chase_termination.Treeify.alpha_infinity);
+        Format.printf "longs-for edges:@.";
+        List.iter
+          (fun (a, b) ->
+            Format.printf "  %s ⟶ %s@." (Chase_core.Atom.to_string a) (Chase_core.Atom.to_string b))
+          r.Chase_termination.Treeify.longs_for;
+        Format.printf "D_ac (path bound %d): %a@." r.Chase_termination.Treeify.depth
+          Chase_core.Instance.pp r.Chase_termination.Treeify.dac;
+        Format.printf "join tree:@.%a@." Chase_termination.Join_tree.pp
+          r.Chase_termination.Treeify.tree
+  in
+  let dot_arg = Arg.(value & flag & info [ "dot" ] ~doc:"Emit the join tree as Graphviz DOT.") in
+  Cmd.v (Cmd.info "treeify" ~doc:"Run the Treeification Theorem construction (Thm 5.5).")
+    Term.(const run $ file_arg $ dot_arg)
+
+(* --- msol ------------------------------------------------------------ *)
+
+let msol_cmd =
+  let run file print =
+    let p = or_die (load file) in
+    let tgds = Chase_parser.Program.tgds p in
+    let phi = Chase_termination.Msol.phi_t tgds in
+    let fo, so = Chase_termination.Msol.quantifier_count phi in
+    Format.printf "|Λ_T| = %d labels@." (Chase_termination.Msol.alphabet_size tgds);
+    Format.printf "|φ_T| = %d nodes, %d first-order and %d second-order quantifiers@."
+      (Chase_termination.Msol.size phi) fo so;
+    Format.printf "closed: %b@." (Chase_termination.Msol.is_closed phi);
+    if print then Format.printf "@.%a@." Chase_termination.Msol.pp phi
+  in
+  let print_arg = Arg.(value & flag & info [ "print" ] ~doc:"Print the whole sentence.") in
+  Cmd.v
+    (Cmd.info "msol" ~doc:"Build the MSOL sentence φ_T of Lemma 5.12 and report its shape.")
+    Term.(const run $ file_arg $ print_arg)
+
+(* --- scenarios ------------------------------------------------------- *)
+
+let scenarios_cmd =
+  let run () =
+    List.iter
+      (fun (s : Chase_workload.Scenarios.t) ->
+        Format.printf "%-28s  %-9s  %s@." s.Chase_workload.Scenarios.name
+          (match s.Chase_workload.Scenarios.truth with
+          | Chase_workload.Scenarios.All_terminating -> "term"
+          | Chase_workload.Scenarios.Diverging -> "diverge")
+          s.Chase_workload.Scenarios.description)
+      Chase_workload.Scenarios.all
+  in
+  Cmd.v (Cmd.info "scenarios" ~doc:"List the built-in scenario gallery.") Term.(const run $ const ())
+
+let main =
+  let info =
+    Cmd.info "chasectl" ~version:"1.0.0"
+      ~doc:"Restricted chase engines and all-instances termination decision procedures."
+  in
+  Cmd.group info
+    [
+      classify_cmd; chase_cmd; decide_cmd; query_cmd; automaton_cmd; ochase_cmd;
+      extract_cmd; treeify_cmd; msol_cmd; scenarios_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

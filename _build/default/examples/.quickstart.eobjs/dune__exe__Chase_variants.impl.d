@@ -1,0 +1,1 @@
+examples/chase_variants.ml: Atom Chase_core Chase_engine Chase_parser Core_chase Derivation Format Instance Model_check Oblivious Parallel Printf Real_oblivious Restricted Sequentialize Term

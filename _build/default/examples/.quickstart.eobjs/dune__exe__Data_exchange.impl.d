@@ -1,0 +1,1 @@
+examples/data_exchange.ml: Chase_core Chase_engine Chase_parser Chase_query Chase_termination Format Instance List String

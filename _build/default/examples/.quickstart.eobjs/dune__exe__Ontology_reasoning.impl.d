@@ -1,0 +1,1 @@
+examples/ontology_reasoning.ml: Atom Chase_classes Chase_core Chase_engine Chase_parser Chase_query Chase_termination Format Instance List String Term

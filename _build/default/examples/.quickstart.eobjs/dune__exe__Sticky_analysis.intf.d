@@ -1,0 +1,1 @@
+examples/sticky_analysis.mli:

@@ -1,0 +1,72 @@
+(* The Fairness Theorem, §4, step by step — including the liberal CT∀∃
+   variant the paper's §7 leaves open, probed on finite objects.
+
+     dune exec examples/fairness_demo.exe *)
+
+open Chase_engine
+open Chase_termination
+
+let program src =
+  let p = Chase_parser.Parser.parse_program src in
+  (Chase_parser.Program.tgds p, Chase_parser.Program.database p)
+
+let () =
+  (* A single-head set where LIFO starves one branch. *)
+  let tgds, db =
+    program "s1: q(X) -> exists Y. r(X,Y).\ns2: r(X,Y) -> q(Y).\nq(a). q(b)."
+  in
+  Format.printf "=== single-head: the §4 construction ===@.";
+  let d = Restricted.run ~strategy:Restricted.Lifo ~naming:`Canonical ~max_steps:8 tgds db in
+  Format.printf "LIFO prefix (8 steps):@.%a@.@." Derivation.pp d;
+
+  let starved = Fairness.persistent_active_triggers tgds d in
+  Format.printf "persistently active (starved) triggers: %d@."
+    (List.length starved);
+  List.iter (fun t -> Format.printf "  %s@." (Chase_engine.Trigger.to_string t)) starved;
+
+  (* One step of the diagonalization: serve the earliest starved trigger
+     at an index past its Lemma 4.4 set A. *)
+  (match starved with
+  | t :: _ -> (
+      match Fairness.insert_step tgds d t with
+      | Ok d' ->
+          Format.printf "@.after one fairification step (%d → %d steps), still valid: %b@."
+            (Derivation.length d) (Derivation.length d') (Derivation.validate tgds d')
+      | Error e -> Format.printf "insertion failed: %s@." e)
+  | [] -> ());
+
+  (* The equality-type bound behind Lemma 4.4. *)
+  Format.printf "@.Lemma 4.4 equality-type bound for this schema: %d@.@."
+    (Fairness.equality_type_bound tgds);
+
+  (* Example B.1: multi-head, where the theorem fails. *)
+  Format.printf "=== multi-head: Example B.1 ===@.";
+  let tgds, db =
+    program
+      "m1: r(X,Y,Y) -> exists Z. r(X,Z,Y), r(Z,Y,Y).\nm2: r(X,Y,Z) -> r(Z,Z,Z).\nr(a,b,b)."
+  in
+  let fifo = Restricted.run ~strategy:Restricted.Fifo ~max_steps:100 tgds db in
+  Format.printf "fair FIFO derivation: %s after %d steps@."
+    (if Derivation.terminated fifo then "terminates" else "runs on")
+    (Derivation.length fifo);
+  (match Derivation_search.divergence_evidence ~max_depth:30 tgds db with
+  | Some d ->
+      Format.printf "an unfair infinite derivation exists: %d-step valid prefix found@."
+        (Derivation.length d)
+  | None -> Format.printf "no divergence found (unexpected)@.");
+
+  (* CT∀∃, the paper's §7 question 3, on finite objects: does SOME
+     derivation terminate?  For B.1: yes (the fair ones).  For the
+     successor rule: no derivation ever terminates. *)
+  Format.printf "@.=== the liberal variant (§7, question 3) ===@.";
+  (match Derivation_search.some_terminating_derivation tgds db with
+  | Some d ->
+      Format.printf "B.1: some finite derivation exists (%d steps) — B.1 ∈ CTres∀∃@."
+        (Derivation.length d)
+  | None -> Format.printf "B.1: no finite derivation found@.");
+  let tgds, db = program "r(X,Y) -> exists Z. r(Y,Z).\nr(a,b)." in
+  match Derivation_search.some_terminating_derivation ~max_depth:25 ~max_states:500 tgds db with
+  | Some _ -> Format.printf "successor: unexpectedly found a finite derivation@."
+  | None ->
+      Format.printf
+        "successor rule: no finite derivation in the explored space (every order diverges)@."

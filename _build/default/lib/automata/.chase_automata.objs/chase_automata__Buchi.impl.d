@@ -1,0 +1,1 @@
+lib/automata/buchi.ml: Array Hashtbl List Option Printf Queue

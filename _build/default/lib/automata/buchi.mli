@@ -1,0 +1,41 @@
+(** Deterministic Büchi automata with lazily generated state spaces, and
+    lasso-based emptiness — the substrate of the sticky decision procedure
+    (paper §6.5, App. D.2). *)
+
+type ('s, 'a) t
+
+(** A non-emptiness witness: after [prefix], the [cycle] can be pumped
+    forever while visiting an accepting state. *)
+type 'a lasso = { prefix : 'a list; cycle : 'a list }
+
+type 'a emptiness =
+  | Empty
+  | Nonempty of 'a lasso
+  | Budget_exceeded of int  (** states explored when the budget ran out *)
+
+type stats = { states : int; transitions : int }
+
+(** [next s a = None] is the implicit reject sink; [state_key] must be an
+    injective encoding of states (used for hashing). *)
+val make :
+  initial:'s ->
+  alphabet:'a list ->
+  next:('s -> 'a -> 's option) ->
+  accepting:('s -> bool) ->
+  state_key:('s -> string) ->
+  ('s, 'a) t
+
+val default_max_states : int
+
+(** Decide L(A) = ∅ by reachable-SCC analysis; a [Nonempty] answer carries
+    a lasso witness. *)
+val emptiness : ?max_states:int -> ('s, 'a) t -> 'a emptiness
+
+(** @raise Invalid_argument when the state budget is exceeded. *)
+val is_empty : ?max_states:int -> ('s, 'a) t -> bool
+
+(** Size of the reachable automaton. *)
+val stats : ?max_states:int -> ('s, 'a) t -> stats
+
+(** Validate a lasso witness by running the automaton over it. *)
+val accepts_lasso : ('s, 'a) t -> 'a lasso -> bool

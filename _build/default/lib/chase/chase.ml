@@ -1,0 +1,80 @@
+(* The umbrella module: one entry point re-exporting the whole library.
+
+     let program = Chase.Parser.parse_program src in
+     let verdict = Chase.Decider.decide (Chase.Program.tgds program) in
+     ...
+
+   Each alias points into the focused library that owns the module; see
+   docs/PAPER_MAP.md for the paper-to-module index. *)
+
+(* core *)
+module Term = Chase_core.Term
+module Atom = Chase_core.Atom
+module Schema = Chase_core.Schema
+module Substitution = Chase_core.Substitution
+module Homomorphism = Chase_core.Homomorphism
+module Instance = Chase_core.Instance
+module Tgd = Chase_core.Tgd
+module Equality_type = Chase_core.Equality_type
+module Sideatom_type = Chase_core.Sideatom_type
+
+(* surface syntax *)
+module Parser = Chase_parser.Parser
+module Printer = Chase_parser.Printer
+module Program = Chase_parser.Program
+
+(* engines *)
+module Trigger = Chase_engine.Trigger
+module Stop = Chase_engine.Stop
+module Derivation = Chase_engine.Derivation
+module Restricted = Chase_engine.Restricted
+module Oblivious = Chase_engine.Oblivious
+module Real_oblivious = Chase_engine.Real_oblivious
+module Parallel = Chase_engine.Parallel
+module Sequentialize = Chase_engine.Sequentialize
+module Core_chase = Chase_engine.Core_chase
+module Model_check = Chase_engine.Model_check
+
+(* classes *)
+module Guardedness = Chase_classes.Guardedness
+module Stickiness = Chase_classes.Stickiness
+module Weak_acyclicity = Chase_classes.Weak_acyclicity
+module Joint_acyclicity = Chase_classes.Joint_acyclicity
+module Classification = Chase_classes.Classification
+
+(* automata *)
+module Buchi = Chase_automata.Buchi
+
+(* termination: §4, §5, §6 *)
+module Fairness = Chase_termination.Fairness
+module Derivation_search = Chase_termination.Derivation_search
+module Join_tree = Chase_termination.Join_tree
+module Chaseable = Chase_termination.Chaseable
+module Guarded_structure = Chase_termination.Guarded_structure
+module Treeify = Chase_termination.Treeify
+module Abstract_join_tree = Chase_termination.Abstract_join_tree
+module Msol = Chase_termination.Msol
+module Msol_eval = Chase_termination.Msol_eval
+module Dot = Chase_termination.Dot
+module Caterpillar = Chase_termination.Caterpillar
+module Caterpillar_word = Chase_termination.Caterpillar_word
+module Caterpillar_extract = Chase_termination.Caterpillar_extract
+module Finitary = Chase_termination.Finitary
+module Sticky_automaton = Chase_termination.Sticky_automaton
+module Sticky_decider = Chase_termination.Sticky_decider
+module Guarded_decider = Chase_termination.Guarded_decider
+module Linear_decider = Chase_termination.Linear_decider
+module Oblivious_decider = Chase_termination.Oblivious_decider
+module Mfa = Chase_termination.Mfa
+module Decider = Chase_termination.Decider
+
+(* queries *)
+module Conjunctive_query = Chase_query.Conjunctive_query
+module Certain_answers = Chase_query.Certain_answers
+module Containment = Chase_query.Containment
+
+(* workloads *)
+module Scenarios = Chase_workload.Scenarios
+module Tgd_gen = Chase_workload.Tgd_gen
+module Db_gen = Chase_workload.Db_gen
+module St_mapping = Chase_workload.St_mapping

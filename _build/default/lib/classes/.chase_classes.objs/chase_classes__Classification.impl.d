@@ -1,0 +1,1 @@
+lib/classes/classification.ml: Chase_core Format Guardedness Joint_acyclicity List Option Schema Stickiness Tgd Weak_acyclicity

@@ -1,0 +1,1 @@
+lib/classes/classification.mli: Chase_core Format Schema Tgd

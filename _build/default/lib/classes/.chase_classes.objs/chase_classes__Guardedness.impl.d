@@ -1,0 +1,1 @@
+lib/classes/guardedness.ml: Atom Chase_core List Option Term Tgd

@@ -1,0 +1,1 @@
+lib/classes/guardedness.mli: Atom Chase_core Tgd

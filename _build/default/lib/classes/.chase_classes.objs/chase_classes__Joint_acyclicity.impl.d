@@ -1,0 +1,1 @@
+lib/classes/joint_acyclicity.ml: Array Atom Chase_core Int List Set String Term Tgd

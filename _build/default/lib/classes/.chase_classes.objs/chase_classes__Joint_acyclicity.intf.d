@@ -1,0 +1,1 @@
+lib/classes/joint_acyclicity.mli: Chase_core Tgd

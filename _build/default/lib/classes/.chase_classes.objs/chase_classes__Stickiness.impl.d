@@ -1,0 +1,1 @@
+lib/classes/stickiness.ml: Array Atom Chase_core Format Hashtbl List Option String Term Tgd

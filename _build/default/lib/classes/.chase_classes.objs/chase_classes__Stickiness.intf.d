@@ -1,0 +1,1 @@
+lib/classes/stickiness.mli: Chase_core Format Tgd

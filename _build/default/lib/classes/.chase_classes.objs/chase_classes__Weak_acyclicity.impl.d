@@ -1,0 +1,1 @@
+lib/classes/weak_acyclicity.ml: Array Atom Chase_core Hashtbl List Option Schema Term Tgd

@@ -1,0 +1,1 @@
+lib/classes/weak_acyclicity.mli: Chase_core Tgd

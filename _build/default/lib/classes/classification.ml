@@ -1,0 +1,48 @@
+(* A one-stop classification report for a TGD set: which of the paper's
+   classes it belongs to, with witnesses for the violations. *)
+
+open Chase_core
+
+type report = {
+  tgd_count : int;
+  schema : Schema.t;
+  max_arity : int;
+  single_head : bool;
+  linear : bool;
+  guarded : bool;
+  sticky : bool;
+  weakly_acyclic : bool;
+  jointly_acyclic : bool;
+  guard_violation : Tgd.t option;
+  sticky_violation : (Tgd.t * string) option;
+  wa_violation : ((string * int) * (string * int)) option;
+}
+
+let classify tgds =
+  let single_head = List.for_all Tgd.is_single_head tgds in
+  let schema = Schema.of_tgds tgds in
+  let sticky_violation =
+    if single_head && tgds <> [] then Stickiness.violation (Stickiness.marking tgds) else None
+  in
+  {
+    tgd_count = List.length tgds;
+    schema;
+    max_arity = Schema.max_arity schema;
+    single_head;
+    linear = Guardedness.is_linear tgds;
+    guarded = Guardedness.is_guarded tgds;
+    sticky = (if single_head then Option.is_none sticky_violation else false);
+    weakly_acyclic = Weak_acyclicity.is_weakly_acyclic tgds;
+    jointly_acyclic = Joint_acyclicity.is_jointly_acyclic tgds;
+    guard_violation = Guardedness.violation tgds;
+    sticky_violation;
+    wa_violation = Weak_acyclicity.violation tgds;
+  }
+
+let pp ppf r =
+  let b = function true -> "yes" | false -> "no" in
+  Format.fprintf ppf
+    "@[<v>TGDs: %d over %s (max arity %d)@,single-head: %s@,linear: %s@,guarded: \
+     %s@,sticky: %s@,weakly acyclic: %s@,jointly acyclic: %s@]"
+    r.tgd_count (Schema.to_string r.schema) r.max_arity (b r.single_head) (b r.linear)
+    (b r.guarded) (b r.sticky) (b r.weakly_acyclic) (b r.jointly_acyclic)

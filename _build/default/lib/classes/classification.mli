@@ -1,0 +1,23 @@
+(** A one-stop classification report for a TGD set: membership in the
+    paper's classes, with violation witnesses for diagnostics. *)
+
+open Chase_core
+
+type report = {
+  tgd_count : int;
+  schema : Schema.t;
+  max_arity : int;
+  single_head : bool;
+  linear : bool;
+  guarded : bool;
+  sticky : bool;  (** false for multi-head sets (stickiness is defined
+                      single-head here) *)
+  weakly_acyclic : bool;
+  jointly_acyclic : bool;
+  guard_violation : Tgd.t option;
+  sticky_violation : (Tgd.t * string) option;
+  wa_violation : ((string * int) * (string * int)) option;
+}
+
+val classify : Tgd.t list -> report
+val pp : Format.formatter -> report -> unit

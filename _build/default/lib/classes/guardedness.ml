@@ -1,0 +1,35 @@
+(* Guardedness (paper §2): a TGD is guarded when some body atom contains
+   every universally quantified (body) variable.  When several atoms
+   qualify, the left-most is *the* guard.  Linear TGDs (one body atom) are
+   the special case with a trivially unique guard. *)
+
+open Chase_core
+
+(* Index of guard(σ) in the body, left-most qualifying atom. *)
+let guard_index tgd =
+  let body_vars = Tgd.body_vars tgd in
+  let rec go i = function
+    | [] -> None
+    | a :: rest ->
+        if Term.Set.subset body_vars (Atom.var_set a) then Some i else go (i + 1) rest
+  in
+  go 0 (Tgd.body tgd)
+
+let guard tgd = Option.map (fun i -> List.nth (Tgd.body tgd) i) (guard_index tgd)
+
+let is_guarded_tgd tgd = Option.is_some (guard_index tgd)
+
+let is_guarded tgds = List.for_all is_guarded_tgd tgds
+
+(* The side atoms: body atoms other than the guard. *)
+let side_atoms tgd =
+  match guard_index tgd with
+  | None -> invalid_arg "Guardedness.side_atoms: not guarded"
+  | Some g -> List.filteri (fun i _ -> i <> g) (Tgd.body tgd)
+
+let is_linear_tgd tgd = match Tgd.body tgd with [ _ ] -> true | _ -> false
+
+let is_linear tgds = List.for_all is_linear_tgd tgds
+
+(* First offending TGD, for diagnostics. *)
+let violation tgds = List.find_opt (fun t -> not (is_guarded_tgd t)) tgds

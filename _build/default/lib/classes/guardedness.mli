@@ -1,0 +1,23 @@
+(** Guardedness and linearity (paper §2). *)
+
+open Chase_core
+
+(** Index in the body of guard(σ) — the left-most atom containing all body
+    variables — or [None] when the TGD is unguarded. *)
+val guard_index : Tgd.t -> int option
+
+val guard : Tgd.t -> Atom.t option
+val is_guarded_tgd : Tgd.t -> bool
+
+(** Membership in the class G (applied TGD-wise). *)
+val is_guarded : Tgd.t list -> bool
+
+(** Body atoms other than the guard.
+    @raise Invalid_argument when unguarded. *)
+val side_atoms : Tgd.t -> Atom.t list
+
+val is_linear_tgd : Tgd.t -> bool
+val is_linear : Tgd.t list -> bool
+
+(** First unguarded TGD, for diagnostics. *)
+val violation : Tgd.t list -> Tgd.t option

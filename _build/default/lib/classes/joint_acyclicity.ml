@@ -1,0 +1,148 @@
+(* Joint acyclicity [Krötzsch & Rudolph, IJCAI'11] — a strictly more
+   general sufficient condition for chase termination than weak
+   acyclicity, used as the second baseline tier in experiment E7
+   (WA ⊂ JA ⊂ the paper's exact procedures).
+
+   For each existentially quantified variable y of a rule ρ, compute the
+   set Pos(y) of schema positions where the nulls invented for y can ever
+   appear: initially the head positions of y, closed under propagation —
+   whenever every body occurrence of a frontier variable x of some rule
+   ρ' lies in Pos(y), the head positions of x join Pos(y).  The JA
+   dependency graph has the existential variables as vertices and an edge
+   y → y' when the rule of y' has a frontier variable all of whose body
+   occurrences lie in Pos(y) — firing for y-nulls can feed the rule that
+   invents y'.  T is jointly acyclic iff this graph is acyclic. *)
+
+open Chase_core
+
+module PosSet = Set.Make (struct
+  type t = string * int
+
+  let compare (p1, i1) (p2, i2) =
+    let c = String.compare p1 p2 in
+    if c <> 0 then c else Int.compare i1 i2
+end)
+
+type exvar = { rule : int; var : string }
+
+type t = {
+  exvars : exvar array;
+  pos : PosSet.t array;  (* Pos(y) per existential variable *)
+  edges : (int * int) list;
+}
+
+let positions_in_atoms atoms v =
+  List.concat_map
+    (fun a -> List.map (fun i -> (Atom.pred a, i)) (Atom.positions_of a (Term.Var v)))
+    atoms
+
+let build tgds =
+  let tgds_arr = Array.of_list tgds in
+  let exvars =
+    Array.to_list tgds_arr
+    |> List.mapi (fun r tgd ->
+           Term.Set.elements (Tgd.existential_vars tgd)
+           |> List.filter_map (fun t ->
+                  match t with Term.Var v -> Some { rule = r; var = v } | _ -> None))
+    |> List.concat |> Array.of_list
+  in
+  let n = Array.length exvars in
+  let pos = Array.make n PosSet.empty in
+  (* initial: head positions of y *)
+  Array.iteri
+    (fun k ev ->
+      pos.(k) <-
+        PosSet.of_list (positions_in_atoms (Tgd.head tgds_arr.(ev.rule)) ev.var))
+    exvars;
+  (* closure: frontier variables fully covered propagate their head
+     positions *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun k _ ->
+        Array.iteri
+          (fun r tgd ->
+            ignore r;
+            Term.Set.iter
+              (fun x ->
+                match x with
+                | Term.Var v ->
+                    let body_pos = positions_in_atoms (Tgd.body tgd) v in
+                    if
+                      body_pos <> []
+                      && List.for_all (fun p -> PosSet.mem p pos.(k)) body_pos
+                    then begin
+                      let head_pos = PosSet.of_list (positions_in_atoms (Tgd.head tgd) v) in
+                      if not (PosSet.subset head_pos pos.(k)) then begin
+                        pos.(k) <- PosSet.union head_pos pos.(k);
+                        changed := true
+                      end
+                    end
+                | _ -> ())
+              (Tgd.frontier tgd))
+          tgds_arr)
+      exvars
+  done;
+  (* edges: y → y' when y-nulls can reach every body occurrence of some
+     frontier variable of y''s rule *)
+  let edges = ref [] in
+  Array.iteri
+    (fun k _ ->
+      Array.iteri
+        (fun k' ev' ->
+          let tgd' = tgds_arr.(ev'.rule) in
+          let feeds =
+            Term.Set.exists
+              (fun x ->
+                match x with
+                | Term.Var v ->
+                    let body_pos = positions_in_atoms (Tgd.body tgd') v in
+                    body_pos <> [] && List.for_all (fun p -> PosSet.mem p pos.(k)) body_pos
+                | _ -> false)
+              (Tgd.frontier tgd')
+          in
+          if feeds then edges := (k, k') :: !edges)
+        exvars)
+    exvars;
+  { exvars; pos = Array.copy pos; edges = !edges }
+
+(* Cycle detection over the JA graph. *)
+let has_cycle g =
+  let n = Array.length g.exvars in
+  let adj = Array.make n [] in
+  List.iter (fun (a, b) -> adj.(a) <- b :: adj.(a)) g.edges;
+  let color = Array.make n 0 in
+  let rec dfs v =
+    if color.(v) = 1 then true
+    else if color.(v) = 2 then false
+    else begin
+      color.(v) <- 1;
+      let c = List.exists dfs adj.(v) in
+      color.(v) <- 2;
+      c
+    end
+  in
+  let rec any v = v < n && (dfs v || any (v + 1)) in
+  any 0
+
+let is_jointly_acyclic tgds = not (has_cycle (build tgds))
+
+(* Diagnostics: an edge on a cycle, as (rule, var) pairs. *)
+let violation tgds =
+  let g = build tgds in
+  if not (has_cycle g) then None
+  else
+    (* find a self-reachable vertex *)
+    let n = Array.length g.exvars in
+    let adj = Array.make n [] in
+    List.iter (fun (a, b) -> adj.(a) <- b :: adj.(a)) g.edges;
+    let reaches src dst =
+      let seen = Array.make n false in
+      let rec go v =
+        List.exists (fun w -> w = dst || ((not seen.(w)) && (seen.(w) <- true; go w))) adj.(v)
+      in
+      go src
+    in
+    let rec find k = if k >= n then None else if reaches k k then Some g.exvars.(k) else find (k + 1) in
+    find 0

@@ -1,0 +1,17 @@
+(** Joint acyclicity \[Krötzsch & Rudolph, IJCAI'11\]: a sufficient
+    condition for all-instances chase termination strictly more general
+    than weak acyclicity — the second baseline tier of experiment E7. *)
+
+open Chase_core
+
+type exvar = { rule : int; var : string }
+
+type t
+(** The JA dependency graph over existential variables. *)
+
+val build : Tgd.t list -> t
+val has_cycle : t -> bool
+val is_jointly_acyclic : Tgd.t list -> bool
+
+(** An existential variable on a cycle, if any. *)
+val violation : Tgd.t list -> exvar option

@@ -1,0 +1,156 @@
+(* Stickiness (paper §2): the marking procedure.
+
+   Working on a variable-disjoint copy of the TGD set (assumed w.l.o.g. in
+   the paper), a body variable x of σ is *marked* when
+
+     (1) x does not occur in head(σ); or
+     (2) head(σ) = R(t̄), x ∈ t̄, and there is σ' with an atom R(t̄') in its
+         body such that every variable of R(t̄') at a position of
+         pos(R(t̄), x) is marked.
+
+   T is sticky iff no TGD has a marked variable occurring twice in its
+   body.  The marking also determines the *immortal* positions used by the
+   sticky decision procedure (App. D.2): the i-th position of head(σ) is
+   immortal iff the variable there is NOT marked — a term at an immortal
+   position is propagated by every later trigger. *)
+
+open Chase_core
+
+type t = {
+  tgds : Tgd.t array;  (* the original TGDs, in input order *)
+  marked : (int * string, unit) Hashtbl.t;  (* (tgd index, original var name) *)
+}
+
+let require_single_head tgds =
+  List.iter
+    (fun t ->
+      if not (Tgd.is_single_head t) then
+        invalid_arg "Stickiness: single-head TGDs required")
+    tgds
+
+(* Count occurrences of a variable in a list of atoms. *)
+let occurrences v atoms =
+  List.fold_left
+    (fun n a ->
+      Array.fold_left
+        (fun n t -> match t with Term.Var w when String.equal w v -> n + 1 | _ -> n)
+        n (Atom.args_a a))
+    0 atoms
+
+let marking tgds =
+  require_single_head tgds;
+  let tgds_arr = Array.of_list tgds in
+  let n = Array.length tgds_arr in
+  let marked = Hashtbl.create 64 in
+  let is_marked i v = Hashtbl.mem marked (i, v) in
+  let mark i v = if not (is_marked i v) then (Hashtbl.add marked (i, v) (); true) else false in
+  (* Base step: body variables absent from the head. *)
+  for i = 0 to n - 1 do
+    let t = tgds_arr.(i) in
+    let head_vars = Tgd.head_vars t in
+    Term.Set.iter
+      (fun x ->
+        match x with
+        | Term.Var v -> if not (Term.Set.mem x head_vars) then ignore (mark i v)
+        | Term.Const _ | Term.Null _ -> ())
+      (Tgd.body_vars t)
+  done;
+  (* Inductive step, to fixpoint: propagate head-to-body. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      let t = tgds_arr.(i) in
+      let head = Tgd.head_atom t in
+      let hpred = Atom.pred head in
+      Term.Set.iter
+        (fun x ->
+          match x with
+          | Term.Var v when not (is_marked i v) ->
+              let positions = Atom.positions_of head x in
+              if positions <> [] then
+                (* Look for σ' with a body atom R(t̄') all of whose
+                   variables at [positions] are marked in σ'. *)
+                let witnessed = ref false in
+                for j = 0 to n - 1 do
+                  if
+                    (not !witnessed)
+                    && List.exists
+                         (fun b ->
+                           String.equal (Atom.pred b) hpred
+                           && Atom.arity b = Atom.arity head
+                           && List.for_all
+                                (fun p ->
+                                  match Atom.arg b p with
+                                  | Term.Var w -> is_marked j w
+                                  | Term.Const _ | Term.Null _ -> false)
+                                positions)
+                         (Tgd.body tgds_arr.(j))
+                  then witnessed := true
+                done;
+                let witnessed = !witnessed in
+                if witnessed && mark i v then changed := true
+          | _ -> ())
+        (Tgd.body_vars t)
+    done
+  done;
+  { tgds = tgds_arr; marked }
+
+let is_marked m ~tgd_index ~var = Hashtbl.mem m.marked (tgd_index, var)
+
+let marked_vars m tgd_index =
+  Hashtbl.fold (fun (i, v) () acc -> if i = tgd_index then v :: acc else acc) m.marked []
+  |> List.sort String.compare
+
+(* First (TGD, variable) with a marked variable occurring twice in the
+   body — the stickiness violation witness. *)
+let violation m =
+  let n = Array.length m.tgds in
+  let rec go i =
+    if i >= n then None
+    else
+      let t = m.tgds.(i) in
+      let body = Tgd.body t in
+      let bad =
+        Term.Set.elements (Tgd.body_vars t)
+        |> List.find_opt (fun x ->
+               match x with
+               | Term.Var v -> is_marked m ~tgd_index:i ~var:v && occurrences v body >= 2
+               | Term.Const _ | Term.Null _ -> false)
+      in
+      match bad with
+      | Some (Term.Var v) -> Some (t, v)
+      | _ -> go (i + 1)
+  in
+  go 0
+
+let is_sticky tgds =
+  match tgds with [] -> true | _ -> Option.is_none (violation (marking tgds))
+
+(* Immortality (App. D.2): the i-th position (0-based) of head(σ) is
+   immortal iff the variable there is not marked.  (Existential variables
+   in the head: an existential variable is not a body variable; marking is
+   defined on body variables.  An existential variable never "survives
+   from the body", and the automaton only queries positions that received
+   a propagated term, which are frontier positions; for uniformity we
+   report existential positions as mortal.) *)
+let immortal_positions m tgd_index =
+  let t = m.tgds.(tgd_index) in
+  let head = Tgd.head_atom t in
+  let fr = Tgd.frontier t in
+  Array.init (Atom.arity head) (fun i ->
+      match Atom.arg head i with
+      | Term.Var v -> Term.Set.mem (Term.Var v) fr && not (is_marked m ~tgd_index ~var:v)
+      | Term.Const _ | Term.Null _ -> false)
+
+let tgd m i = m.tgds.(i)
+let tgd_count m = Array.length m.tgds
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i t ->
+      Format.fprintf ppf "%s: marked {%s}@," (Tgd.to_string t)
+        (String.concat ", " (marked_vars m i)))
+    m.tgds;
+  Format.fprintf ppf "@]"

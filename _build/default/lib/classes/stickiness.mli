@@ -1,0 +1,33 @@
+(** Stickiness (paper §2): the variable-marking procedure, the class S,
+    and the immortal positions used by the sticky decision procedure
+    (App. D.2). *)
+
+open Chase_core
+
+type t
+(** A completed marking for a TGD list (indices refer to input order). *)
+
+(** Run the marking to fixpoint.
+    @raise Invalid_argument on multi-head TGDs. *)
+val marking : Tgd.t list -> t
+
+val is_marked : t -> tgd_index:int -> var:string -> bool
+
+(** Marked variables of one TGD, sorted. *)
+val marked_vars : t -> int -> string list
+
+(** A TGD with a marked variable occurring twice in its body, if any —
+    the witness that the set is not sticky. *)
+val violation : t -> (Tgd.t * string) option
+
+(** Membership in the class S. *)
+val is_sticky : Tgd.t list -> bool
+
+(** [immortal_positions m i].(p) — is the p-th (0-based) position of
+    head(σᵢ) immortal, i.e. does it hold an unmarked frontier variable?
+    A term sitting at an immortal position is propagated forever. *)
+val immortal_positions : t -> int -> bool array
+
+val tgd : t -> int -> Tgd.t
+val tgd_count : t -> int
+val pp : Format.formatter -> t -> unit

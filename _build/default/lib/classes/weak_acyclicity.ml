@@ -1,0 +1,124 @@
+(* Weak acyclicity [Fagin et al., TCS'05] — the standard sufficient
+   condition for all-instances termination of the restricted (standard)
+   chase, used here as the baseline the paper's §1.1 discusses.  (It does
+   not bound the oblivious chase: r(X,Y) → ∃Z r(X,Z) is weakly acyclic
+   yet oblivious-diverging.)
+
+   The position dependency graph has the schema positions as vertices.
+   For every TGD σ, every frontier variable x occurring in the body at
+   position πb and in the head at position πh contributes a normal edge
+   πb → πh; and for every existential variable z at head position πz, a
+   special edge πb → πz for every body position πb of every frontier
+   variable of σ.  T is weakly acyclic iff no cycle goes through a
+   special edge, iff no SCC contains a special edge. *)
+
+open Chase_core
+
+type edge_kind = Normal | Special
+
+type t = {
+  positions : (string * int) array;
+  index_of : (string * int, int) Hashtbl.t;
+  edges : (int * edge_kind * int) list;  (* from, kind, to *)
+}
+
+let positions g = Array.to_list g.positions
+let edges g = g.edges
+
+let build tgds =
+  let schema = Schema.of_tgds tgds in
+  let positions = Array.of_list (Schema.positions schema) in
+  let index_of = Hashtbl.create 32 in
+  Array.iteri (fun i p -> Hashtbl.add index_of p i) positions;
+  let idx p = Hashtbl.find index_of p in
+  let edges = ref [] in
+  let add_edge a kind b = edges := (idx a, kind, idx b) :: !edges in
+  List.iter
+    (fun tgd ->
+      let body = Tgd.body tgd and head = Tgd.head tgd in
+      let frontier = Tgd.frontier tgd in
+      let existentials = Tgd.existential_vars tgd in
+      let body_positions_of x =
+        List.concat_map
+          (fun a -> List.map (fun i -> (Atom.pred a, i)) (Atom.positions_of a x))
+          body
+      in
+      let head_positions_of x =
+        List.concat_map
+          (fun a -> List.map (fun i -> (Atom.pred a, i)) (Atom.positions_of a x))
+          head
+      in
+      Term.Set.iter
+        (fun x ->
+          let bps = body_positions_of x in
+          (* normal edges for the frontier variable itself *)
+          List.iter
+            (fun bp -> List.iter (fun hp -> add_edge bp Normal hp) (head_positions_of x))
+            bps;
+          (* special edges into every existential position *)
+          Term.Set.iter
+            (fun z ->
+              List.iter
+                (fun bp -> List.iter (fun zp -> add_edge bp Special zp) (head_positions_of z))
+                bps)
+            existentials)
+        frontier)
+    tgds;
+  { positions; index_of; edges = !edges }
+
+(* Tarjan SCC over the dependency graph. *)
+let sccs g =
+  let n = Array.length g.positions in
+  let adj = Array.make n [] in
+  List.iter (fun (a, _, b) -> adj.(a) <- b :: adj.(a)) g.edges;
+  let index = Array.make n (-1) and low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] and counter = ref 0 and comps = ref [] in
+  let rec strong v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strong w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      adj.(v);
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      comps := pop [] :: !comps
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strong v
+  done;
+  !comps
+
+(* A special edge inside one SCC witnesses non-weak-acyclicity. *)
+let special_edge_in_cycle g =
+  let comp_of = Hashtbl.create 32 in
+  List.iteri (fun c vs -> List.iter (fun v -> Hashtbl.add comp_of v c) vs) (sccs g);
+  List.find_opt
+    (fun (a, kind, b) ->
+      kind = Special && Hashtbl.find comp_of a = Hashtbl.find comp_of b)
+    g.edges
+
+let is_weakly_acyclic tgds = Option.is_none (special_edge_in_cycle (build tgds))
+
+(* Diagnostics: the offending special edge as schema positions. *)
+let violation tgds =
+  let g = build tgds in
+  Option.map
+    (fun (a, _, b) -> (g.positions.(a), g.positions.(b)))
+    (special_edge_in_cycle g)

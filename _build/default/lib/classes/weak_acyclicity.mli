@@ -1,0 +1,25 @@
+(** Weak acyclicity \[Fagin et al., TCS'05\]: the classic sufficient
+    condition for all-instances termination of the restricted chase, the
+    baseline of the paper's §1.1 discussion. *)
+
+open Chase_core
+
+type edge_kind = Normal | Special
+
+type t
+(** The position dependency graph. *)
+
+val build : Tgd.t list -> t
+val positions : t -> (string * int) list
+val edges : t -> (int * edge_kind * int) list
+
+(** Strongly connected components (vertex index lists). *)
+val sccs : t -> int list list
+
+(** A special edge lying in a cycle, if any. *)
+val special_edge_in_cycle : t -> (int * edge_kind * int) option
+
+val is_weakly_acyclic : Tgd.t list -> bool
+
+(** The offending special edge as schema positions, for diagnostics. *)
+val violation : Tgd.t list -> ((string * int) * (string * int)) option

@@ -1,0 +1,1 @@
+lib/core/atom.ml: Array Format Hashtbl Int List Map Printf Set String Term

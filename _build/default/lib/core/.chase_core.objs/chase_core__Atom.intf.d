@@ -1,0 +1,1 @@
+lib/core/atom.mli: Format Map Set Term

@@ -1,0 +1,1 @@
+lib/core/equality_type.ml: Array Atom Format Hashtbl List Option Printf Schema Stdlib String Term

@@ -1,0 +1,1 @@
+lib/core/equality_type.mli: Atom Format Schema Term

@@ -1,0 +1,1 @@
+lib/core/homomorphism.ml: Atom Instance List Option Seq String Substitution Term

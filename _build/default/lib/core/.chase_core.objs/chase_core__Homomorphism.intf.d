@@ -1,0 +1,1 @@
+lib/core/homomorphism.mli: Atom Instance Seq Substitution Term

@@ -1,0 +1,1 @@
+lib/core/instance.ml: Atom Format Int List Map Option Seq String Term

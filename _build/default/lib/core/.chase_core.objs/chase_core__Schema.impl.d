@@ -1,0 +1,1 @@
+lib/core/schema.ml: Atom Format Instance List Map Printf String Tgd

@@ -1,0 +1,1 @@
+lib/core/sideatom_type.ml: Array Atom Format Fun Hashtbl Int List Printf Stdlib String Term

@@ -1,0 +1,1 @@
+lib/core/sideatom_type.mli: Atom Format

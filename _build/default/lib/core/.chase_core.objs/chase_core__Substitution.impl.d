@@ -1,0 +1,1 @@
+lib/core/substitution.ml: Atom Buffer Format Hashtbl List Term

@@ -1,0 +1,1 @@
+lib/core/substitution.mli: Atom Format Term

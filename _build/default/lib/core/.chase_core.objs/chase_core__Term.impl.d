@@ -1,0 +1,1 @@
+lib/core/term.ml: Format Hashtbl Map Printf Set String

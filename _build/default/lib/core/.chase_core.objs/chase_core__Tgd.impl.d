@@ -1,0 +1,1 @@
+lib/core/tgd.ml: Atom Buffer Format Homomorphism List Printf Seq String Substitution Term

@@ -1,0 +1,1 @@
+lib/core/tgd.mli: Atom Format Instance Term

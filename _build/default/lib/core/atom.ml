@@ -1,0 +1,83 @@
+(* Atoms: a predicate applied to a tuple of terms (paper §2).  Positions are
+   0-based internally; pretty-printing and documentation follow the paper's
+   1-based convention where it matters. *)
+
+type t = { pred : string; args : Term.t array }
+
+let make pred args = { pred; args = Array.of_list args }
+let make_a pred args = { pred; args }
+
+let pred a = a.pred
+let args a = Array.to_list a.args
+let args_a a = a.args
+let arity a = Array.length a.args
+let arg a i = a.args.(i)
+
+let compare a b =
+  let c = String.compare a.pred b.pred in
+  if c <> 0 then c
+  else
+    let la = Array.length a.args and lb = Array.length b.args in
+    let c = Int.compare la lb in
+    if c <> 0 then c
+    else
+      let rec go i =
+        if i >= la then 0
+        else
+          let c = Term.compare a.args.(i) b.args.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+
+let terms a = Array.to_list a.args
+
+let term_set a = Array.fold_left (fun s t -> Term.Set.add t s) Term.Set.empty a.args
+
+let vars a =
+  Array.fold_left
+    (fun acc t -> match t with Term.Var v -> v :: acc | Term.Const _ | Term.Null _ -> acc)
+    [] a.args
+  |> List.rev
+
+let var_set a =
+  Array.fold_left
+    (fun s t -> match t with Term.Var _ -> Term.Set.add t s | Term.Const _ | Term.Null _ -> s)
+    Term.Set.empty a.args
+
+let is_fact a = Array.for_all Term.is_const a.args
+let is_ground a = Array.for_all (fun t -> not (Term.is_var t)) a.args
+
+(* Positions (0-based) at which [t] occurs, cf. pos(R(t̄), x) in §2. *)
+let positions_of a t =
+  let acc = ref [] in
+  for i = Array.length a.args - 1 downto 0 do
+    if Term.equal a.args.(i) t then acc := i :: !acc
+  done;
+  !acc
+
+let mem_term a t = Array.exists (Term.equal t) a.args
+
+let map f a = { a with args = Array.map f a.args }
+
+let to_string a =
+  Printf.sprintf "%s(%s)" a.pred
+    (String.concat "," (List.map Term.to_string (Array.to_list a.args)))
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+let pp_list ppf atoms =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp ppf atoms

@@ -1,0 +1,49 @@
+(** Atoms: a predicate applied to a tuple of terms (paper §2).
+
+    Positions are 0-based in this API; the paper writes positions 1-based.
+    A {e fact} is an atom over constants only. *)
+
+type t
+
+val make : string -> Term.t list -> t
+val make_a : string -> Term.t array -> t
+
+val pred : t -> string
+val args : t -> Term.t list
+val args_a : t -> Term.t array
+val arity : t -> int
+
+(** [arg a i] is the term at (0-based) position [i].
+    @raise Invalid_argument if out of bounds. *)
+val arg : t -> int -> Term.t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val terms : t -> Term.t list
+val term_set : t -> Term.Set.t
+
+(** Variables in order of first occurrence (with duplicates). *)
+val vars : t -> string list
+
+val var_set : t -> Term.Set.t
+
+(** True when all arguments are constants. *)
+val is_fact : t -> bool
+
+(** True when no argument is a variable. *)
+val is_ground : t -> bool
+
+(** 0-based positions at which the term occurs — pos(R(t̄), x) of §2. *)
+val positions_of : t -> Term.t -> int list
+
+val mem_term : t -> Term.t -> bool
+val map : (Term.t -> Term.t) -> t -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val pp_list : Format.formatter -> t list -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,106 @@
+(* Equality types (paper App. A): a pair (R, E) where E partitions the
+   positions of R; the equality type of an atom records which of its
+   positions carry equal terms.  Canonical representation: a restricted
+   growth string, classes.(i) = index of the class of position i, where a
+   class index is the order of first occurrence (so classes.(0) = 0 and
+   classes.(i+1) <= 1 + max of the prefix).  This makes structural equality
+   coincide with partition equality and gives cheap hashtable keys. *)
+
+type t = { pred : string; classes : int array }
+
+let pred e = e.pred
+let arity e = Array.length e.classes
+let class_of e i = e.classes.(i)
+
+let num_classes e = Array.fold_left (fun m c -> max m (c + 1)) 0 e.classes
+
+let same_class e i j = e.classes.(i) = e.classes.(j)
+
+(* Canonicalize an arbitrary class assignment into a restricted growth
+   string. *)
+let canonicalize pred raw =
+  let n = Array.length raw in
+  let seen = Hashtbl.create 8 in
+  let next = ref 0 in
+  let classes =
+    Array.init n (fun i ->
+        match Hashtbl.find_opt seen raw.(i) with
+        | Some c -> c
+        | None ->
+            let c = !next in
+            incr next;
+            Hashtbl.add seen raw.(i) c;
+            c)
+  in
+  { pred; classes }
+
+(* et(α): positions are in the same class iff they hold equal terms. *)
+let of_atom a =
+  let args = Atom.args_a a in
+  let n = Array.length args in
+  let raw = Array.make n 0 in
+  let seen = ref Term.Map.empty in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    match Term.Map.find_opt args.(i) !seen with
+    | Some c -> raw.(i) <- c
+    | None ->
+        raw.(i) <- !next;
+        seen := Term.Map.add args.(i) !next !seen;
+        incr next
+  done;
+  { pred = Atom.pred a; classes = raw }
+
+(* The canonical atom of an equality type: one fresh term per class.  The
+   default invents nulls ⋆0, ⋆1, …; [term_of_class] overrides this. *)
+let canonical_atom ?term_of_class e =
+  let mk =
+    match term_of_class with
+    | Some f -> f
+    | None -> fun c -> Term.Null (Printf.sprintf "\xe2\x98\x85%d" c)
+  in
+  Atom.make_a e.pred (Array.map mk e.classes)
+
+let compare a b =
+  let c = String.compare a.pred b.pred in
+  if c <> 0 then c else Stdlib.compare a.classes b.classes
+
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+
+(* All partitions of n positions, as restricted growth strings. *)
+let partitions n =
+  let rec extend prefix maxc i acc =
+    if i >= n then Array.of_list (List.rev prefix) :: acc
+    else
+      let acc = ref acc in
+      for c = 0 to maxc + 1 do
+        acc := extend (c :: prefix) (max maxc c) (i + 1) !acc
+      done;
+      !acc
+  in
+  if n = 0 then [ [||] ] else extend [ 0 ] 0 1 []
+
+(* etypes(S): all equality types over a schema.  Finite (App. A). *)
+let all_of_schema schema =
+  Schema.fold
+    (fun pred arity acc ->
+      List.fold_left (fun acc classes -> { pred; classes } :: acc) acc (partitions arity))
+    schema []
+
+let to_string e =
+  let groups = Hashtbl.create 8 in
+  Array.iteri
+    (fun i c ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt groups c) in
+      Hashtbl.replace groups c (i :: prev))
+    e.classes;
+  let ncl = num_classes e in
+  let cls =
+    List.init ncl (fun c ->
+        let ps = List.rev (Option.value ~default:[] (Hashtbl.find_opt groups c)) in
+        "{" ^ String.concat "," (List.map string_of_int ps) ^ "}")
+  in
+  Printf.sprintf "%s:[%s]" e.pred (String.concat " " cls)
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

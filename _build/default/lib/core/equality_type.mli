@@ -1,0 +1,39 @@
+(** Equality types (paper App. A): a predicate together with a partition of
+    its positions.  [et(α)] groups the positions of [α] holding equal
+    terms.  Values are canonical, so structural equality coincides with
+    partition equality and values serve as table keys — they are the state
+    space of the sticky decision procedure's automaton [A_pc] (App. D.2). *)
+
+type t
+
+val pred : t -> string
+val arity : t -> int
+
+(** Class index (0-based, first-occurrence order) of a position. *)
+val class_of : t -> int -> int
+
+val num_classes : t -> int
+val same_class : t -> int -> int -> bool
+
+(** Canonicalize an arbitrary class assignment. *)
+val canonicalize : string -> int array -> t
+
+(** et(α). *)
+val of_atom : Atom.t -> t
+
+(** can(e): the canonical atom, one fresh term per class (a null [⋆c] by
+    default; override with [term_of_class]). *)
+val canonical_atom : ?term_of_class:(int -> Term.t) -> t -> Atom.t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** All partitions of [n] positions, as restricted growth strings. *)
+val partitions : int -> int array list
+
+(** etypes(S): all equality types over the schema — finitely many. *)
+val all_of_schema : Schema.t -> t list
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,143 @@
+(* Homomorphism search (paper §2): find substitutions h mapping a list of
+   pattern atoms into an instance, fixing constants (and, optionally, an
+   extra [frozen] set of terms, as needed by the stop relation ≺s of §3.1).
+
+   The search is plain backtracking with a greedy most-bound-first atom
+   ordering; candidate atoms are fetched through the instance's predicate
+   index.  Results are produced lazily as a [Seq.t]. *)
+
+let frozen_ok frozen t = not (Term.Set.mem t frozen)
+
+(* Extend [s] so that pattern atom [p] maps onto target atom [a]. *)
+let match_atom ?(frozen = Term.Set.empty) ~pattern ~target s =
+  if
+    (not (String.equal (Atom.pred pattern) (Atom.pred target)))
+    || Atom.arity pattern <> Atom.arity target
+  then None
+  else
+    let n = Atom.arity pattern in
+    let rec go i s =
+      if i >= n then Some s
+      else
+        let pt = Atom.arg pattern i and tt = Atom.arg target i in
+        if Term.is_rigid pt || not (frozen_ok frozen pt) then
+          if Term.equal pt tt then go (i + 1) s else None
+        else
+          match Substitution.unify pt tt s with
+          | Some s -> go (i + 1) s
+          | None -> None
+    in
+    go 0 s
+
+(* Number of pattern arguments already determined under [s]: used to pick
+   the most selective pattern atom next. *)
+let boundness frozen s a =
+  let n = Atom.arity a in
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    let t = Atom.arg a i in
+    if Term.is_rigid t || Term.Set.mem t frozen || Substitution.mem t s then incr c
+  done;
+  !c
+
+let pick_next frozen s atoms =
+  let rec go best best_score rest_before = function
+    | [] -> (best, List.rev rest_before)
+    | a :: rest ->
+        let score = boundness frozen s a in
+        if score > best_score then go a score (best :: rest_before) rest
+        else go best best_score (a :: rest_before) rest
+  in
+  match atoms with
+  | [] -> invalid_arg "pick_next: empty"
+  | a :: rest ->
+      let best, others = go a (boundness frozen s a) [] rest in
+      (best, others)
+
+(* Candidate atoms for a pattern under the current bindings: when some
+   pattern argument is already determined (a constant, a frozen term, or
+   a bound variable/null), use the (pred, position, term) index and pick
+   the most selective position; otherwise fall back to the predicate
+   index. *)
+let candidates frozen s instance p =
+  let n = Atom.arity p in
+  let best = ref None in
+  for i = 0 to n - 1 do
+    let t = Atom.arg p i in
+    let determined =
+      if Term.is_rigid t || Term.Set.mem t frozen then Some t else Substitution.find_opt t s
+    in
+    match determined with
+    | None -> ()
+    | Some value ->
+        let set = Instance.with_pred_pos_term instance (Atom.pred p) i value in
+        let card = Atom.Set.cardinal set in
+        (match !best with
+        | Some (c, _) when c <= card -> ()
+        | _ -> best := Some (card, set))
+  done;
+  match !best with
+  | Some (_, set) -> Atom.Set.elements set
+  | None -> Instance.with_pred instance (Atom.pred p)
+
+let all ?(frozen = Term.Set.empty) ?(init = Substitution.empty) patterns instance =
+  let rec search patterns s () =
+    match patterns with
+    | [] -> Seq.Cons (s, Seq.empty)
+    | _ :: _ ->
+        let p, rest = pick_next frozen s patterns in
+        let seqs =
+          List.to_seq (candidates frozen s instance p)
+          |> Seq.filter_map (fun target -> match_atom ~frozen ~pattern:p ~target s)
+          |> Seq.concat_map (fun s' -> search rest s')
+        in
+        seqs ()
+  in
+  search patterns init
+
+let find ?frozen ?init patterns instance =
+  match (all ?frozen ?init patterns instance) () with
+  | Seq.Nil -> None
+  | Seq.Cons (s, _) -> Some s
+
+let exists ?frozen ?init patterns instance = Option.is_some (find ?frozen ?init patterns instance)
+
+(* Homomorphism between instances: atoms of [i] into [into]. *)
+let embed i ~into = find (Instance.to_list i) into
+let embeds i ~into = Option.is_some (embed i ~into)
+
+(* Homomorphic equivalence. *)
+let hom_equivalent a b = embeds a ~into:b && embeds b ~into:a
+
+(* An isomorphism between finite instances: an injective homomorphism whose
+   inverse is a homomorphism (App. A).  We search homs from a to b and keep
+   injective ones whose image covers b. *)
+let isomorphism a b =
+  if Instance.cardinal a <> Instance.cardinal b then None
+  else
+    let check s =
+      if not (Substitution.is_injective s) then false
+      else
+        (* injective on the active domain and surjective on atoms *)
+        Instance.for_all (fun atom -> Instance.mem (Substitution.apply_atom s atom) b) a
+        && Instance.cardinal (Instance.map (Substitution.apply_atom s) a) = Instance.cardinal b
+    in
+    Seq.find check (all (Instance.to_list a) b)
+
+let isomorphic a b = Option.is_some (isomorphism a b)
+
+(* Structural isomorphism that may also rename constants (the sense in
+   which Lemma 5.9 compares ∆(T|F) with D): generalize every constant to
+   a null first, so the search may rebind them bijectively. *)
+let generalize i =
+  Instance.map
+    (Atom.map (fun t -> match t with Term.Const c -> Term.Null ("\xc2\xa7" ^ c) | _ -> t))
+    i
+
+let isomorphic_upto_constants a b = isomorphic (generalize a) (generalize b)
+
+(* The core of an instance would go here; we provide a simple retract check
+   used by tests: is there a hom from [i] into [i] avoiding atom [a]? *)
+let retracts_away i atom =
+  let smaller = Instance.remove atom i in
+  exists (Instance.to_list i) smaller

@@ -1,0 +1,43 @@
+(** Homomorphism search (paper §2).
+
+    A homomorphism maps a set of atoms into an instance: constants are
+    fixed, variables and nulls may be bound.  The optional [frozen] set
+    lists additional terms that must be mapped to themselves — this is how
+    the stop relation ≺s (§3.1) freezes frontier terms. *)
+
+(** Extend the substitution so that [pattern] maps onto [target], or
+    [None] when impossible. *)
+val match_atom :
+  ?frozen:Term.Set.t -> pattern:Atom.t -> target:Atom.t -> Substitution.t -> Substitution.t option
+
+(** All homomorphisms extending [init] from the pattern atoms into the
+    instance, lazily. *)
+val all :
+  ?frozen:Term.Set.t -> ?init:Substitution.t -> Atom.t list -> Instance.t -> Substitution.t Seq.t
+
+val find :
+  ?frozen:Term.Set.t -> ?init:Substitution.t -> Atom.t list -> Instance.t -> Substitution.t option
+
+val exists : ?frozen:Term.Set.t -> ?init:Substitution.t -> Atom.t list -> Instance.t -> bool
+
+(** Homomorphism from one instance into another. *)
+val embed : Instance.t -> into:Instance.t -> Substitution.t option
+
+val embeds : Instance.t -> into:Instance.t -> bool
+
+(** Homomorphisms both ways. *)
+val hom_equivalent : Instance.t -> Instance.t -> bool
+
+(** An isomorphism between finite instances (App. A): an injective
+    homomorphism whose inverse is also a homomorphism. *)
+val isomorphism : Instance.t -> Instance.t -> Substitution.t option
+
+val isomorphic : Instance.t -> Instance.t -> bool
+
+(** Structural isomorphism that may also rename constants bijectively —
+    the sense in which Lemma 5.9 compares ∆(T|F) with D. *)
+val isomorphic_upto_constants : Instance.t -> Instance.t -> bool
+
+(** [retracts_away i a]: is there a homomorphism from [i] into [i] minus
+    atom [a]?  (Used to exhibit redundant atoms.) *)
+val retracts_away : Instance.t -> Atom.t -> bool

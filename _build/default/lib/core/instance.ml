@@ -1,0 +1,136 @@
+(* Instances (paper §2): possibly infinite sets of atoms over constants and
+   nulls.  This implementation is a finite, persistent, per-predicate-indexed
+   set: chase derivations snapshot instances at every step, so persistence
+   is what we want.  A database is an instance containing facts only. *)
+
+module SMap = Map.Make (String)
+
+(* Secondary index key: (predicate, position, term). *)
+module TpKey = struct
+  type t = string * int * Term.t
+
+  let compare (p1, i1, t1) (p2, i2, t2) =
+    let c = String.compare p1 p2 in
+    if c <> 0 then c
+    else
+      let c = Int.compare i1 i2 in
+      if c <> 0 then c else Term.compare t1 t2
+end
+
+module TpMap = Map.Make (TpKey)
+
+type t = { by_pred : Atom.Set.t SMap.t; by_term : Atom.Set.t TpMap.t; size : int }
+
+let empty = { by_pred = SMap.empty; by_term = TpMap.empty; size = 0 }
+
+let is_empty i = i.size = 0
+let cardinal i = i.size
+
+let mem a i =
+  match SMap.find_opt (Atom.pred a) i.by_pred with
+  | None -> false
+  | Some s -> Atom.Set.mem a s
+
+let index_keys a =
+  let p = Atom.pred a in
+  List.init (Atom.arity a) (fun k -> (p, k, Atom.arg a k))
+
+let add a i =
+  let p = Atom.pred a in
+  let s = match SMap.find_opt p i.by_pred with None -> Atom.Set.empty | Some s -> s in
+  if Atom.Set.mem a s then i
+  else
+    let by_term =
+      List.fold_left
+        (fun m key ->
+          let prev = Option.value ~default:Atom.Set.empty (TpMap.find_opt key m) in
+          TpMap.add key (Atom.Set.add a prev) m)
+        i.by_term (index_keys a)
+    in
+    { by_pred = SMap.add p (Atom.Set.add a s) i.by_pred; by_term; size = i.size + 1 }
+
+let remove a i =
+  let p = Atom.pred a in
+  match SMap.find_opt p i.by_pred with
+  | None -> i
+  | Some s ->
+      if not (Atom.Set.mem a s) then i
+      else
+        let s' = Atom.Set.remove a s in
+        let by_pred = if Atom.Set.is_empty s' then SMap.remove p i.by_pred else SMap.add p s' i.by_pred in
+        let by_term =
+          List.fold_left
+            (fun m key ->
+              match TpMap.find_opt key m with
+              | None -> m
+              | Some set ->
+                  let set' = Atom.Set.remove a set in
+                  if Atom.Set.is_empty set' then TpMap.remove key m else TpMap.add key set' m)
+            i.by_term (index_keys a)
+        in
+        { by_pred; by_term; size = i.size - 1 }
+
+let singleton a = add a empty
+
+let of_list atoms = List.fold_left (fun i a -> add a i) empty atoms
+let of_seq atoms = Seq.fold_left (fun i a -> add a i) empty atoms
+
+let fold f i acc = SMap.fold (fun _ s acc -> Atom.Set.fold f s acc) i.by_pred acc
+let iter f i = SMap.iter (fun _ s -> Atom.Set.iter f s) i.by_pred
+let for_all f i = SMap.for_all (fun _ s -> Atom.Set.for_all f s) i.by_pred
+let exists f i = SMap.exists (fun _ s -> Atom.Set.exists f s) i.by_pred
+let filter f i =
+  fold (fun a acc -> if f a then add a acc else acc) i empty
+
+let to_list i = List.rev (fold (fun a acc -> a :: acc) i [])
+
+let to_set i =
+  SMap.fold (fun _ s acc -> Atom.Set.union s acc) i.by_pred Atom.Set.empty
+
+let union a b =
+  if a.size >= b.size then fold add b a else fold add a b
+
+let diff a b = fold remove b a
+
+let inter a b = filter (fun atom -> mem atom b) a
+
+let subset a b = for_all (fun atom -> mem atom b) a
+
+let equal a b = a.size = b.size && subset a b
+
+(* Atoms with the given predicate, cheap via the index. *)
+let with_pred i p =
+  match SMap.find_opt p i.by_pred with None -> [] | Some s -> Atom.Set.elements s
+
+let with_pred_set i p =
+  match SMap.find_opt p i.by_pred with None -> Atom.Set.empty | Some s -> s
+
+let pred_count i p = Atom.Set.cardinal (with_pred_set i p)
+
+(* Atoms with the given term at the given (0-based) position — the
+   secondary index behind the homomorphism search's candidate pruning. *)
+let with_pred_pos_term i p pos t =
+  match TpMap.find_opt (p, pos, t) i.by_term with None -> Atom.Set.empty | Some s -> s
+
+let preds i = SMap.fold (fun p _ acc -> p :: acc) i.by_pred [] |> List.rev
+
+(* Active domain dom(I): all terms occurring in I. *)
+let active_domain i =
+  fold (fun a acc -> Term.Set.union (Atom.term_set a) acc) i Term.Set.empty
+
+let constants i = Term.Set.filter Term.is_const (active_domain i)
+let nulls i = Term.Set.filter Term.is_null (active_domain i)
+
+(* A database is a finite set of facts (constants only). *)
+let is_database i = for_all Atom.is_fact i
+
+let map f i = fold (fun a acc -> add (f a) acc) i empty
+
+let to_string i =
+  let atoms = to_list i in
+  "{" ^ String.concat ", " (List.map Atom.to_string atoms) ^ "}"
+
+let pp ppf i =
+  Format.fprintf ppf "@[<hov 1>{%a}@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") Atom.pp)
+    (to_list i)

@@ -1,0 +1,61 @@
+(* Schemas (paper §2): finite sets of predicates with arities.  sch(T) is
+   the schema of a TGD set; ar(T) its maximum arity.  A position (R, i)
+   identifies the i-th argument of R (0-based here). *)
+
+module SMap = Map.Make (String)
+
+type t = int SMap.t
+
+exception Arity_mismatch of string
+
+let empty = SMap.empty
+
+let add pred arity s =
+  match SMap.find_opt pred s with
+  | Some a when a <> arity ->
+      raise
+        (Arity_mismatch
+           (Printf.sprintf "predicate %s used with arities %d and %d" pred a arity))
+  | _ -> SMap.add pred arity s
+
+let add_atom a s = add (Atom.pred a) (Atom.arity a) s
+
+let of_atoms atoms = List.fold_left (fun s a -> add_atom a s) empty atoms
+
+let of_instance i =
+  let acc = ref empty in
+  Instance.iter (fun a -> acc := add_atom a !acc) i;
+  !acc
+
+(* sch(T). *)
+let of_tgds ts =
+  List.fold_left
+    (fun s t ->
+      let s = List.fold_left (fun s a -> add_atom a s) s (Tgd.body t) in
+      List.fold_left (fun s a -> add_atom a s) s (Tgd.head t))
+    empty ts
+
+let union a b = SMap.union (fun p x y -> if x = y then Some x else raise (Arity_mismatch p)) a b
+
+let mem pred s = SMap.mem pred s
+let arity pred s = SMap.find_opt pred s
+let arity_exn pred s = SMap.find pred s
+
+let preds s = List.map fst (SMap.bindings s)
+let bindings s = SMap.bindings s
+let cardinal s = SMap.cardinal s
+let is_empty s = SMap.is_empty s
+
+(* ar(S): maximum arity, 0 for the empty schema. *)
+let max_arity s = SMap.fold (fun _ a m -> max a m) s 0
+
+(* All positions (R, i) of the schema, 0-based. *)
+let positions s =
+  SMap.fold (fun p a acc -> List.init a (fun i -> (p, i)) @ acc) s [] |> List.rev
+
+let fold f s acc = SMap.fold f s acc
+
+let to_string s =
+  String.concat ", " (List.map (fun (p, a) -> Printf.sprintf "%s/%d" p a) (SMap.bindings s))
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)

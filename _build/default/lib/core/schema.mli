@@ -1,0 +1,38 @@
+(** Schemas (paper §2): finite maps from predicate names to arities.
+    [sch(T)] is the schema of a TGD set, [ar(T)] its maximum arity; a
+    position [(R, i)] identifies the [i]-th argument of [R] (0-based). *)
+
+type t
+
+exception Arity_mismatch of string
+
+val empty : t
+
+(** @raise Arity_mismatch when the predicate already has another arity. *)
+val add : string -> int -> t -> t
+
+val add_atom : Atom.t -> t -> t
+val of_atoms : Atom.t list -> t
+val of_instance : Instance.t -> t
+
+(** sch(T). *)
+val of_tgds : Tgd.t list -> t
+
+val union : t -> t -> t
+val mem : string -> t -> bool
+val arity : string -> t -> int option
+val arity_exn : string -> t -> int
+val preds : t -> string list
+val bindings : t -> (string * int) list
+val cardinal : t -> int
+val is_empty : t -> bool
+
+(** ar(S): the maximum arity (0 when empty). *)
+val max_arity : t -> int
+
+(** All positions [(R, i)] of the schema, 0-based. *)
+val positions : t -> (string * int) list
+
+val fold : (string -> int -> 'a -> 'a) -> t -> 'a -> 'a
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

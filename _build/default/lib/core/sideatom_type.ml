@@ -1,0 +1,78 @@
+(* Sideatom types (paper §5.3 / App. C): a triple π = ⟨P, m, ξ⟩ with
+   ξ : [n] → [m], describing how a side atom plugs its terms into the
+   positions of a (guard) atom.  α is a π-sideatom of β, written α ⊆π β,
+   when α's predicate is P, β has arity m, and α[i] = β[ξ(i)] for all i.
+   Positions are 0-based here. *)
+
+type t = { pred : string; target_arity : int; xi : int array }
+
+let make ~pred ~target_arity ~xi =
+  if Array.exists (fun j -> j < 0 || j >= target_arity) xi then
+    invalid_arg "Sideatom_type.make: ξ out of range";
+  { pred; target_arity; xi }
+
+let pred t = t.pred
+let source_arity t = Array.length t.xi
+let target_arity t = t.target_arity
+let xi t = Array.copy t.xi
+
+let compare a b =
+  let c = String.compare a.pred b.pred in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.target_arity b.target_arity in
+    if c <> 0 then c else Stdlib.compare a.xi b.xi
+
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+
+(* α ⊆π β. *)
+let is_sideatom t alpha ~of_:beta =
+  String.equal (Atom.pred alpha) t.pred
+  && Atom.arity alpha = Array.length t.xi
+  && Atom.arity beta = t.target_arity
+  && (let ok = ref true in
+      Array.iteri
+        (fun i j -> if not (Term.equal (Atom.arg alpha i) (Atom.arg beta j)) then ok := false)
+        t.xi;
+      !ok)
+
+(* Apply π to a guard atom: the unique atom α with α ⊆π β (if any atom
+   does, it is this one). *)
+let project t beta =
+  if Atom.arity beta <> t.target_arity then
+    invalid_arg "Sideatom_type.project: arity mismatch";
+  Atom.make_a t.pred (Array.map (fun j -> Atom.arg beta j) t.xi)
+
+(* All sideatom types π with α ⊆π β: every way of pointing each position
+   of α at a position of β carrying the same term. *)
+let all_of_pair alpha ~of_:beta =
+  let n = Atom.arity alpha and m = Atom.arity beta in
+  let choices =
+    List.init n (fun i ->
+        let t = Atom.arg alpha i in
+        List.filteri (fun _ _ -> true)
+          (List.filter_map
+             (fun j -> if Term.equal (Atom.arg beta j) t then Some j else None)
+             (List.init m Fun.id)))
+  in
+  if List.exists (fun c -> c = []) choices then []
+  else
+    let rec build acc = function
+      | [] -> [ List.rev acc ]
+      | c :: rest -> List.concat_map (fun j -> build (j :: acc) rest) c
+    in
+    build [] choices
+    |> List.map (fun xi ->
+           { pred = Atom.pred alpha; target_arity = m; xi = Array.of_list xi })
+
+(* The canonical (lexicographically least ξ) sideatom type, if α's terms
+   all occur in β. *)
+let of_pair alpha ~of_:beta =
+  match all_of_pair alpha ~of_:beta with [] -> None | t :: _ -> Some t
+
+let to_string t =
+  Printf.sprintf "<%s,%d,{%s}>" t.pred t.target_arity
+    (String.concat ", " (Array.to_list (Array.mapi (fun i j -> Printf.sprintf "%d->%d" i j) t.xi)))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

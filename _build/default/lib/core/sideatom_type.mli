@@ -1,0 +1,34 @@
+(** Sideatom types (paper §5.3 / App. C): π = ⟨P, m, ξ⟩ with
+    ξ : \[n\] → \[m\].  An atom α is a π-sideatom of β (written α ⊆π β)
+    when α's predicate is P, β has arity m, and α\[i\] = β\[ξ(i)\].
+    Positions are 0-based in this API. *)
+
+type t
+
+(** @raise Invalid_argument when ξ maps outside the target arity. *)
+val make : pred:string -> target_arity:int -> xi:int array -> t
+
+val pred : t -> string
+val source_arity : t -> int
+val target_arity : t -> int
+val xi : t -> int array
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** α ⊆π β. *)
+val is_sideatom : t -> Atom.t -> of_:Atom.t -> bool
+
+(** The unique atom α with α ⊆π β.
+    @raise Invalid_argument on arity mismatch. *)
+val project : t -> Atom.t -> Atom.t
+
+(** All π with α ⊆π β. *)
+val all_of_pair : Atom.t -> of_:Atom.t -> t list
+
+(** The canonical such π (least ξ), if α's terms all occur in β. *)
+val of_pair : Atom.t -> of_:Atom.t -> t option
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

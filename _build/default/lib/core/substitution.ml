@@ -1,0 +1,87 @@
+(* Substitutions (paper §2): finite functions from terms to terms.  Only
+   non-rigid terms (variables and nulls) may be bound; constants are always
+   mapped to themselves, so every substitution built here is a candidate
+   homomorphism. *)
+
+type t = Term.t Term.Map.t
+
+let empty = Term.Map.empty
+let is_empty = Term.Map.is_empty
+
+let find_opt t s = Term.Map.find_opt t s
+
+let mem t s = Term.Map.mem t s
+
+let bind t u s =
+  if Term.is_rigid t then invalid_arg "Substitution.bind: constant in domain";
+  Term.Map.add t u s
+
+(* Extend [s] with [t ↦ u]; [None] if [t] is already bound to a different
+   term, or if [t] is a constant different from [u]. *)
+let unify t u s =
+  if Term.is_rigid t then if Term.equal t u then Some s else None
+  else
+    match Term.Map.find_opt t s with
+    | Some u' -> if Term.equal u u' then Some s else None
+    | None -> Some (Term.Map.add t u s)
+
+let apply_term s t =
+  if Term.is_rigid t then t
+  else match Term.Map.find_opt t s with Some u -> u | None -> t
+
+let apply_atom s a = Atom.map (apply_term s) a
+
+let apply_atoms s atoms = List.map (apply_atom s) atoms
+
+(* Restriction of [s] to the set of terms [dom] — h|x̄ in the paper. *)
+let restrict dom s = Term.Map.filter (fun t _ -> Term.Set.mem t dom) s
+
+(* Does [s'] extend [s]?  (h' ⊇ h in the paper.) *)
+let extends ~base:s s' =
+  Term.Map.for_all
+    (fun t u -> match Term.Map.find_opt t s' with Some u' -> Term.equal u u' | None -> false)
+    s
+
+let domain s = Term.Map.fold (fun t _ acc -> Term.Set.add t acc) s Term.Set.empty
+let range s = Term.Map.fold (fun _ u acc -> Term.Set.add u acc) s Term.Set.empty
+
+let bindings = Term.Map.bindings
+let of_bindings bs = List.fold_left (fun s (t, u) -> bind t u s) empty bs
+let cardinal = Term.Map.cardinal
+
+let equal = Term.Map.equal Term.equal
+
+let compare = Term.Map.compare Term.compare
+
+(* Composition: (compose s2 s1) t = s2 (s1 t), i.e. apply s1 first. *)
+let compose s2 s1 =
+  let s1' = Term.Map.map (apply_term s2) s1 in
+  Term.Map.union (fun _ v1 _v2 -> Some v1) s1' s2
+
+let is_injective s =
+  let seen = Hashtbl.create 16 in
+  try
+    Term.Map.iter
+      (fun _ u ->
+        if Hashtbl.mem seen u then raise Exit;
+        Hashtbl.add seen u ())
+      s;
+    true
+  with Exit -> false
+
+let to_string s =
+  let b = Buffer.create 64 in
+  Buffer.add_char b '{';
+  let first = ref true in
+  Term.Map.iter
+    (fun t u ->
+      if not !first then Buffer.add_string b ", ";
+      first := false;
+      Buffer.add_string b (Term.to_string t);
+      Buffer.add_string b " -> ";
+      Buffer.add_string b (Term.to_string u))
+    s;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)

@@ -1,0 +1,48 @@
+(** Substitutions (paper §2): finite maps from terms to terms.
+
+    Only non-rigid terms (variables and nulls) may be bound; constants are
+    implicitly mapped to themselves.  Applying a substitution therefore
+    always yields a constant-preserving map, as required of homomorphisms. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val find_opt : Term.t -> t -> Term.t option
+val mem : Term.t -> t -> bool
+
+(** [bind t u s] adds [t ↦ u].
+    @raise Invalid_argument if [t] is a constant. *)
+val bind : Term.t -> Term.t -> t -> t
+
+(** [unify t u s] extends [s] with [t ↦ u] if consistent: [None] when [t]
+    is bound to a different term, or is a constant different from [u]. *)
+val unify : Term.t -> Term.t -> t -> t option
+
+val apply_term : t -> Term.t -> Term.t
+val apply_atom : t -> Atom.t -> Atom.t
+val apply_atoms : t -> Atom.t list -> Atom.t list
+
+(** [restrict dom s] is h|dom — the bindings whose key is in [dom]. *)
+val restrict : Term.Set.t -> t -> t
+
+(** [extends ~base s'] holds when [s'] agrees with every binding of [base]
+    (h' ⊇ h in the paper). *)
+val extends : base:t -> t -> bool
+
+val domain : t -> Term.Set.t
+val range : t -> Term.Set.t
+val bindings : t -> (Term.t * Term.t) list
+val of_bindings : (Term.t * Term.t) list -> t
+val cardinal : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [compose s2 s1] applies [s1] first, then [s2]. *)
+val compose : t -> t -> t
+
+val is_injective : t -> bool
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+(* Terms: constants, labeled nulls, and variables (paper §2).
+
+   Constants and nulls populate instances; variables occur only in
+   dependencies and queries.  Nulls carry a string label so that the real
+   oblivious chase can name the null invented for an existential variable
+   deterministically from the trigger that created it (Def 3.1). *)
+
+type t =
+  | Const of string
+  | Null of string
+  | Var of string
+
+let compare a b =
+  match a, b with
+  | Const x, Const y -> String.compare x y
+  | Const _, (Null _ | Var _) -> -1
+  | Null _, Const _ -> 1
+  | Null x, Null y -> String.compare x y
+  | Null _, Var _ -> -1
+  | Var x, Var y -> String.compare x y
+  | Var _, (Const _ | Null _) -> 1
+
+let equal a b = compare a b = 0
+
+let hash = Hashtbl.hash
+
+let is_const = function Const _ -> true | Null _ | Var _ -> false
+let is_null = function Null _ -> true | Const _ | Var _ -> false
+let is_var = function Var _ -> true | Const _ | Null _ -> false
+
+(* A term is rigid when a homomorphism must fix it (constants only). *)
+let is_rigid = is_const
+
+let const c = Const c
+let null n = Null n
+let var v = Var v
+
+let to_string = function
+  | Const c -> c
+  | Null n -> "_:" ^ n
+  | Var v -> "?" ^ v
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+(* Stateful generator of fresh nulls, used by chase engines.  Each engine
+   run owns its own generator so runs are reproducible. *)
+module Gen = struct
+  type term = t
+
+  type t = { prefix : string; mutable next : int }
+
+  let create ?(prefix = "n") () = { prefix; next = 0 }
+
+  let fresh g =
+    let n = g.next in
+    g.next <- n + 1;
+    Null (Printf.sprintf "%s%d" g.prefix n)
+
+  let count g = g.next
+end

@@ -1,0 +1,45 @@
+(** Terms of the relational model (paper §2): constants, labeled nulls, and
+    variables.  Constants and nulls occur in instances; variables occur only
+    in dependencies and queries. *)
+
+type t =
+  | Const of string  (** a constant of [C] *)
+  | Null of string  (** a labeled null of [N] *)
+  | Var of string  (** a variable of [V], used in dependencies *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val is_const : t -> bool
+val is_null : t -> bool
+val is_var : t -> bool
+
+(** [is_rigid t] holds when every homomorphism must map [t] to itself,
+    i.e. when [t] is a constant. *)
+val is_rigid : t -> bool
+
+val const : string -> t
+val null : string -> t
+val var : string -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+(** Stateful generator of fresh labeled nulls.  Chase runs own a private
+    generator, which makes them reproducible. *)
+module Gen : sig
+  type term = t
+  type t
+
+  val create : ?prefix:string -> unit -> t
+
+  (** [fresh g] returns a null that no previous [fresh g] returned. *)
+  val fresh : t -> term
+
+  (** Number of nulls generated so far. *)
+  val count : t -> int
+end

@@ -1,0 +1,58 @@
+(** Tuple-generating dependencies (paper §2):
+    [∀x̄∀ȳ (ϕ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄))], written body → head.
+
+    The theory in the paper concerns {e single-head}, constant-free TGDs;
+    the representation also admits multi-head TGDs (the head is an atom
+    list), which are needed for the fairness counterexample (Example B.1).
+    Functions that require single-headedness say so. *)
+
+type t
+
+exception Ill_formed of string
+
+(** Build a TGD.
+    @raise Ill_formed when the body or head is empty or contains a
+    non-variable term (TGDs are constant-free). *)
+val make : ?name:string -> body:Atom.t list -> head:Atom.t list -> unit -> t
+
+val name : t -> string
+val with_name : string -> t -> t
+val body : t -> Atom.t list
+val head : t -> Atom.t list
+
+val is_single_head : t -> bool
+
+(** The single head atom.
+    @raise Invalid_argument on a multi-head TGD. *)
+val head_atom : t -> Atom.t
+
+val body_vars : t -> Term.Set.t
+val head_vars : t -> Term.Set.t
+
+(** fr(σ): variables occurring in both body and head. *)
+val frontier : t -> Term.Set.t
+
+val existential_vars : t -> Term.Set.t
+val all_vars : t -> Term.Set.t
+
+(** 0-based head positions holding frontier variables (single-head only):
+    the terms of [result(σ,h)] at these positions are its frontier
+    (Def 3.1). *)
+val frontier_positions : t -> int list
+
+val rename_vars : string -> t -> t
+
+(** Rename the TGDs so that no two share a variable (assumed w.l.o.g. by
+    the stickiness marking of §2). *)
+val rename_apart : t list -> t list
+
+(** [satisfied_by i σ] is I ⊨ σ. *)
+val satisfied_by : Instance.t -> t -> bool
+
+val satisfied_by_all : Instance.t -> t list -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val pp_set : Format.formatter -> t list -> unit

@@ -1,0 +1,1 @@
+lib/engine/core_chase.ml: Chase_core Homomorphism Instance List Option Restricted Substitution Term Trigger

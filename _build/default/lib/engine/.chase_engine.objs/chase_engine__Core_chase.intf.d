@@ -1,0 +1,1 @@
+lib/engine/core_chase.mli: Chase_core Instance Term Tgd

@@ -1,0 +1,1 @@
+lib/engine/derivation.ml: Atom Chase_core Format Instance List Seq String Term Trigger

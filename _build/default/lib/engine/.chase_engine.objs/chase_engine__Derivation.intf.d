@@ -1,0 +1,1 @@
+lib/engine/derivation.mli: Atom Chase_core Format Instance Term Tgd Trigger

@@ -1,0 +1,1 @@
+lib/engine/model_check.ml: Chase_core Homomorphism Instance List Tgd

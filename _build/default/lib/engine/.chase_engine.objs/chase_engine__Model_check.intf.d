@@ -1,0 +1,1 @@
+lib/engine/model_check.mli: Chase_core Instance Tgd

@@ -1,0 +1,1 @@
+lib/engine/oblivious.ml: Chase_core Instance List Queue Seq Set Trigger

@@ -1,0 +1,1 @@
+lib/engine/oblivious.mli: Chase_core Instance Tgd

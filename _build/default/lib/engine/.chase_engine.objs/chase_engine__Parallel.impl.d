@@ -1,0 +1,1 @@
+lib/engine/parallel.ml: Chase_core Instance List Restricted Trigger

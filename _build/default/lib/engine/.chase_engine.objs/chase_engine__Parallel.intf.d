@@ -1,0 +1,1 @@
+lib/engine/parallel.mli: Chase_core Instance Tgd Trigger

@@ -1,0 +1,1 @@
+lib/engine/real_oblivious.mli: Atom Chase_core Format Instance Tgd Trigger

@@ -1,0 +1,1 @@
+lib/engine/restricted.ml: Chase_core Derivation List Option Random Seq Set Term Trigger

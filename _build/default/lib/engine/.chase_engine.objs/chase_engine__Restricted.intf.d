@@ -1,0 +1,1 @@
+lib/engine/restricted.mli: Chase_core Derivation Instance Term Tgd Trigger

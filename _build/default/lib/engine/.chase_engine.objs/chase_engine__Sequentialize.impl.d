@@ -1,0 +1,1 @@
+lib/engine/sequentialize.ml: Atom Chase_core Derivation Instance List Parallel Restricted Substitution Tgd Trigger

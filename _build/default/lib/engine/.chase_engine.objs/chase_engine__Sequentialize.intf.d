@@ -1,0 +1,1 @@
+lib/engine/sequentialize.mli: Atom Chase_core Derivation Instance Parallel Tgd Trigger

@@ -1,0 +1,1 @@
+lib/engine/stop.ml: Atom Chase_core Homomorphism Instance List Option Substitution Trigger

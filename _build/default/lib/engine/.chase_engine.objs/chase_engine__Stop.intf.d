@@ -1,0 +1,1 @@
+lib/engine/stop.mli: Atom Chase_core Instance Term Trigger

@@ -1,0 +1,1 @@
+lib/engine/trigger.ml: Chase_core Digest Format Homomorphism Instance List Printf Seq String Substitution Term Tgd

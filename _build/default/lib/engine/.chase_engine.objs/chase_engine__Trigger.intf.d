@@ -1,0 +1,1 @@
+lib/engine/trigger.mli: Atom Chase_core Format Instance Seq Substitution Term Tgd

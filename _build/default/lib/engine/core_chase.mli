@@ -1,0 +1,24 @@
+(** Cores and the core chase \[Deutsch, Nash & Remmel, PODS'08\] — the
+    paper's reference [11].  The core chase (parallel rounds + core
+    minimization) terminates iff a finite universal model exists; it is
+    the upper baseline next to the restricted chase. *)
+
+open Chase_core
+
+(** One proper retraction, when one exists. *)
+val retract_once : Instance.t -> Instance.t option
+
+(** The core: iterate proper retractions to a fixpoint (NP-hard in
+    general; meant for test-scale instances). *)
+val core : Instance.t -> Instance.t
+
+val is_core : Instance.t -> bool
+
+type result = {
+  final : Instance.t;
+  rounds : int;
+  saturated : bool;  (** false when the round budget ran out *)
+}
+
+val default_max_rounds : int
+val run : ?max_rounds:int -> ?gen:Term.Gen.t -> Tgd.t list -> Instance.t -> result

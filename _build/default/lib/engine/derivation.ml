@@ -1,0 +1,83 @@
+(* Chase derivations (paper §3.2): a sequence of instances I₀, I₁, …, with
+   I₀ the database, each obtained from the previous by applying an active
+   trigger.  We store the applied triggers and produced atoms; instances
+   are persistent, so per-step snapshots are cheap and kept. *)
+
+open Chase_core
+
+type step = {
+  index : int;
+  trigger : Trigger.t;
+  produced : Atom.t list;
+  frontier : Term.Set.t;  (* frontier terms of the produced atoms *)
+  after : Instance.t;  (* the instance right after this step *)
+}
+
+type status =
+  | Terminated  (* no active trigger remains: a finite (valid) derivation *)
+  | Out_of_budget  (* the step budget ran out with active triggers left *)
+
+type t = { database : Instance.t; steps : step list; status : status }
+(* [steps] is stored in application order. *)
+
+let make ~database ~steps ~status = { database; steps; status }
+
+let database d = d.database
+let steps d = d.steps
+let status d = d.status
+let length d = List.length d.steps
+
+let final d =
+  match List.rev d.steps with [] -> d.database | last :: _ -> last.after
+
+let instance_at d i =
+  if i = 0 then d.database
+  else
+    match List.nth_opt d.steps (i - 1) with
+    | Some s -> s.after
+    | None -> invalid_arg "Derivation.instance_at"
+
+let produced_atoms d = List.concat_map (fun s -> s.produced) d.steps
+
+let terminated d = d.status = Terminated
+
+(* New atoms beyond the database. *)
+let growth d = Instance.cardinal (final d) - Instance.cardinal d.database
+
+(* Triggers still active on the final instance — nonempty exactly when the
+   run stopped on budget. *)
+let active_triggers_at_end tgds d =
+  let fin = final d in
+  Trigger.all tgds fin |> Seq.filter (Trigger.is_active fin) |> List.of_seq
+
+(* Check the derivation is internally consistent: each step's trigger was
+   active on the previous instance and produced the recorded atoms.  Used
+   by tests and by certificate checking. *)
+let validate tgds d =
+  let ok_status =
+    match d.status with
+    | Terminated -> active_triggers_at_end tgds d = []
+    | Out_of_budget -> true
+  in
+  let rec go prev = function
+    | [] -> true
+    | s :: rest ->
+        Trigger.is_active prev s.trigger
+        && List.for_all (fun a -> Instance.mem a s.after) s.produced
+        && Instance.subset prev s.after
+        && Instance.cardinal s.after
+           <= Instance.cardinal prev + List.length s.produced
+        && go s.after rest
+  in
+  ok_status && go d.database d.steps
+
+let pp ppf d =
+  Format.fprintf ppf "@[<v>database: %a@," Instance.pp d.database;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%3d. %s ⟶ %s@," s.index
+        (Trigger.to_string s.trigger)
+        (String.concat ", " (List.map Atom.to_string s.produced)))
+    d.steps;
+  Format.fprintf ppf "status: %s@]"
+    (match d.status with Terminated -> "terminated" | Out_of_budget -> "out of budget")

@@ -1,0 +1,47 @@
+(** Chase derivations (paper §3.2). *)
+
+open Chase_core
+
+type step = {
+  index : int;
+  trigger : Trigger.t;
+  produced : Atom.t list;
+  frontier : Term.Set.t;  (** frontier terms of the produced atoms *)
+  after : Instance.t;  (** snapshot right after this step *)
+}
+
+type status =
+  | Terminated  (** no active trigger remains — a finite, valid derivation *)
+  | Out_of_budget  (** the step budget ran out with active triggers left *)
+
+type t
+
+val make : database:Instance.t -> steps:step list -> status:status -> t
+val database : t -> Instance.t
+
+(** Steps in application order. *)
+val steps : t -> step list
+
+val status : t -> status
+val length : t -> int
+
+(** The last instance of the sequence. *)
+val final : t -> Instance.t
+
+(** [instance_at d i] is Iᵢ (I₀ = the database). *)
+val instance_at : t -> int -> Instance.t
+
+val produced_atoms : t -> Atom.t list
+val terminated : t -> bool
+
+(** Number of atoms added beyond the database. *)
+val growth : t -> int
+
+(** Triggers still active on the final instance. *)
+val active_triggers_at_end : Tgd.t list -> t -> Trigger.t list
+
+(** Internal consistency check: every step applied an active trigger to the
+    previous instance.  Used by tests and certificate checking. *)
+val validate : Tgd.t list -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+(* Model and universal-model checks (paper §1): the chase result, when
+   finite, is a universal model of (D, T) — a model that maps
+   homomorphically into every other model.  These checks back the tests
+   for the engines. *)
+
+open Chase_core
+
+(* I is a model of (D, T): contains D and satisfies every TGD. *)
+let is_model ~database ~tgds instance =
+  Instance.subset database instance && Tgd.satisfied_by_all instance tgds
+
+(* I maps into J by a homomorphism (the universality direction that is
+   checkable on finite instances). *)
+let maps_into instance ~into = Homomorphism.embeds instance ~into
+
+(* A finite universal-model check against a list of candidate models: I is
+   a model and maps into each of them. *)
+let is_universal_among ~database ~tgds instance ~others =
+  is_model ~database ~tgds instance
+  && List.for_all (fun j -> maps_into instance ~into:j) others
+
+(* The classic sanity law: a terminating restricted chase result maps into
+   the (saturated) oblivious chase result and vice versa. *)
+let hom_equivalent = Homomorphism.hom_equivalent

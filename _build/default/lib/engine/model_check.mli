@@ -1,0 +1,15 @@
+(** Model and universal-model checks (paper §1). *)
+
+open Chase_core
+
+(** [is_model ~database ~tgds i]: i ⊇ D and i ⊨ T. *)
+val is_model : database:Instance.t -> tgds:Tgd.t list -> Instance.t -> bool
+
+(** Homomorphism existence from an instance into another. *)
+val maps_into : Instance.t -> into:Instance.t -> bool
+
+(** A finite universality check: a model that maps into each of [others]. *)
+val is_universal_among :
+  database:Instance.t -> tgds:Tgd.t list -> Instance.t -> others:Instance.t list -> bool
+
+val hom_equivalent : Instance.t -> Instance.t -> bool

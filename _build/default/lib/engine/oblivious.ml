@@ -1,0 +1,60 @@
+(* The oblivious and semi-oblivious chase (paper §3.1).
+
+   The oblivious chase applies every trigger — active or not — that has
+   not been applied before, until a fixpoint.  With the canonical null
+   naming of Def 3.1 the result is the unique ⊆-minimal instance I_{D,T}
+   closed under trigger application, independent of order.
+
+   The semi-oblivious chase identifies triggers agreeing on the frontier:
+   (σ, h) is applied only if no (σ, h') with h'|fr = h|fr was. *)
+
+open Chase_core
+
+type variant = Oblivious | Semi_oblivious
+
+type result = {
+  instance : Instance.t;
+  applications : int;
+  saturated : bool;  (* false when the step budget ran out *)
+}
+
+module TrigSet = Set.Make (Trigger)
+
+let default_max_steps = 10_000
+
+(* Key under which a trigger is remembered as applied. *)
+let applied_key variant trigger =
+  match variant with
+  | Oblivious -> trigger
+  | Semi_oblivious -> Trigger.make (Trigger.tgd trigger) (Trigger.frontier_hom trigger)
+
+let run ?(variant = Oblivious) ?(max_steps = default_max_steps) tgds database =
+  let applied = ref TrigSet.empty in
+  let queue = Queue.create () in
+  let enqueue t =
+    let key = applied_key variant t in
+    if not (TrigSet.mem key !applied) then begin
+      applied := TrigSet.add key !applied;
+      Queue.add t queue
+    end
+  in
+  Seq.iter enqueue (Trigger.all tgds database);
+  let rec loop instance n =
+    if Queue.is_empty queue then { instance; applications = n; saturated = true }
+    else if n >= max_steps then { instance; applications = n; saturated = false }
+    else
+      let trigger = Queue.pop queue in
+      (* Canonical nulls: no generator, so re-derived atoms coincide. *)
+      let after, produced = Trigger.apply instance trigger in
+      List.iter
+        (fun atom ->
+          if not (Instance.mem atom instance) then
+            Seq.iter enqueue (Trigger.involving tgds after atom))
+        produced;
+      loop after (n + 1)
+  in
+  loop database 0
+
+(* Does the oblivious chase saturate within the budget? *)
+let terminates_within ?variant ~max_steps tgds database =
+  (run ?variant ~max_steps tgds database).saturated

@@ -1,0 +1,23 @@
+(** The oblivious and semi-oblivious chase (paper §3.1).
+
+    The oblivious chase applies every trigger, active or not, that was not
+    applied before; with canonical null naming (Def 3.1) its result is the
+    unique instance I_{D,T}.  The semi-oblivious variant identifies
+    triggers that agree on the frontier. *)
+
+open Chase_core
+
+type variant = Oblivious | Semi_oblivious
+
+type result = {
+  instance : Instance.t;
+  applications : int;
+  saturated : bool;  (** false when the step budget ran out *)
+}
+
+val default_max_steps : int
+
+val run : ?variant:variant -> ?max_steps:int -> Tgd.t list -> Instance.t -> result
+
+(** Whether the chase saturates within the given budget. *)
+val terminates_within : ?variant:variant -> max_steps:int -> Tgd.t list -> Instance.t -> bool

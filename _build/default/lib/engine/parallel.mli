@@ -1,0 +1,24 @@
+(** The parallel (weakly restricted, paper Def C.4) chase: every round
+    applies all triggers active at its start, simultaneously.  The result
+    can be larger than a sequential restricted result — a same-round
+    trigger may deactivate another, which is applied anyway — but it is a
+    model, and rounds bound the sequential derivation depth. *)
+
+open Chase_core
+
+type round = { index : int; applied : Trigger.t list; after : Instance.t }
+
+type result = {
+  database : Instance.t;
+  rounds : round list;
+  final : Instance.t;
+  saturated : bool;  (** false when the round budget ran out *)
+}
+
+val default_max_rounds : int
+
+(** Runs with canonical null naming (Def 3.1), so atom identities persist
+    across rounds and into {!Sequentialize}. *)
+val run : ?max_rounds:int -> Tgd.t list -> Instance.t -> result
+val round_count : result -> int
+val applications : result -> int

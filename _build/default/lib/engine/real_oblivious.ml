@@ -1,0 +1,157 @@
+(* The real oblivious chase ochase(D,T) (paper Def 3.3).
+
+   A labeled directed graph: one node per database atom, and one node per
+   (TGD, homomorphism, parent-node tuple).  Unlike the (set-based)
+   oblivious chase, copies of the same atom produced by different parent
+   tuples are distinct nodes — ochase is a *multiset* of atoms with an
+   unambiguous parent relation ≺p (Example 3.2 motivates this).
+
+   The full object is infinite whenever the oblivious chase is; we
+   materialize it breadth-first up to node/depth budgets.  Node depth is
+   1 + the maximal parent depth; round r creates exactly the nodes of
+   depth r, so the truncation is depth-complete: if [complete] is false,
+   every node of depth < the reached horizon is present. *)
+
+open Chase_core
+
+type node = {
+  id : int;
+  depth : int;
+  atom : Atom.t;  (* λ(v) *)
+  origin : Trigger.t option;  (* τ(v); None (⊥) for database atoms *)
+  parents : int array;  (* ≺p, aligned with the body atoms of the TGD *)
+}
+
+type t = {
+  nodes : node array;
+  by_pred : (string, int list) Hashtbl.t;  (* pred -> node ids, ascending *)
+  complete : bool;
+  horizon : int;  (* all nodes of depth <= horizon are present *)
+}
+
+let nodes g = g.nodes
+let node g id = g.nodes.(id)
+let size g = Array.length g.nodes
+let complete g = g.complete
+let horizon g = g.horizon
+
+let atoms g = Array.to_list (Array.map (fun n -> n.atom) g.nodes)
+
+let atom_set g = Array.fold_left (fun i n -> Instance.add n.atom i) Instance.empty g.nodes
+
+let copies g atom =
+  Array.fold_left (fun c n -> if Atom.equal n.atom atom then c + 1 else c) 0 g.nodes
+
+let parents g id = Array.to_list g.nodes.(id).parents
+
+let children g id =
+  Array.fold_left
+    (fun acc n -> if Array.exists (Int.equal id) n.parents then n.id :: acc else acc)
+    [] g.nodes
+  |> List.rev
+
+let nodes_with_pred g p =
+  match Hashtbl.find_opt g.by_pred p with Some ids -> List.rev ids | None -> []
+
+let default_max_nodes = 2000
+let default_max_depth = 64
+
+let build ?(max_nodes = default_max_nodes) ?(max_depth = default_max_depth) tgds database =
+  let store : (int, node) Hashtbl.t = Hashtbl.create 256 in
+  let count = ref 0 in
+  let by_pred : (string, int list) Hashtbl.t = Hashtbl.create 16 in
+  let dedup : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let add_node depth atom origin parents =
+    let n = { id = !count; depth; atom; origin; parents } in
+    incr count;
+    Hashtbl.add store n.id n;
+    let prev = Option.value ~default:[] (Hashtbl.find_opt by_pred (Atom.pred atom)) in
+    Hashtbl.replace by_pred (Atom.pred atom) (n.id :: prev);
+    n
+  in
+  Instance.iter (fun a -> ignore (add_node 0 a None [||])) database;
+  let node_by_id id = Hashtbl.find store id in
+  (* Enumerate, for one TGD, all (hom, parent tuple) pairs whose maximal
+     parent depth is exactly [target_depth - 1]. *)
+  let matches_for tgd target_depth emit =
+    let body = Array.of_list (Tgd.body tgd) in
+    let m = Array.length body in
+    let chosen = Array.make m (-1) in
+    let rec go i sub max_d =
+      if i >= m then begin
+        if max_d = target_depth - 1 then emit sub (Array.copy chosen)
+      end
+      else
+        let gamma = body.(i) in
+        let candidates =
+          Option.value ~default:[] (Hashtbl.find_opt by_pred (Atom.pred gamma))
+        in
+        List.iter
+          (fun id ->
+            let n = node_by_id id in
+            if n.depth < target_depth then
+              match Homomorphism.match_atom ~pattern:gamma ~target:n.atom sub with
+              | None -> ()
+              | Some sub' ->
+                  chosen.(i) <- id;
+                  go (i + 1) sub' (max max_d n.depth))
+          candidates
+    in
+    go 0 Substitution.empty (-1)
+  in
+  let over_budget = ref false in
+  let rec rounds depth =
+    if depth > max_depth then depth - 1
+    else begin
+      let added = ref false in
+      List.iter
+        (fun tgd ->
+          matches_for tgd depth (fun hom parent_ids ->
+              if !count < max_nodes then begin
+                let trigger = Trigger.make tgd hom in
+                let key =
+                  Printf.sprintf "%s|%s|%s" (Tgd.name tgd)
+                    (Substitution.to_string hom)
+                    (String.concat ","
+                       (List.map string_of_int (Array.to_list parent_ids)))
+                in
+                if not (Hashtbl.mem dedup key) then begin
+                  Hashtbl.add dedup key ();
+                  (* Single-head: one produced atom; multi-head real
+                     oblivious chase is out of the paper's scope. *)
+                  match Trigger.result trigger with
+                  | [ atom ] ->
+                      ignore (add_node depth atom (Some trigger) parent_ids);
+                      added := true
+                  | _ -> invalid_arg "Real_oblivious.build: single-head TGDs only"
+                end
+              end
+              else over_budget := true))
+        tgds;
+      if !over_budget then depth - 1 else if not !added then depth - 1 else rounds (depth + 1)
+    end
+  in
+  let horizon = rounds 1 in
+  let arr = Array.init !count (fun id -> Hashtbl.find store id) in
+  { nodes = arr; by_pred; complete = not !over_budget && horizon < max_depth; horizon }
+
+(* λ(v) ≺s λ(u) over the graph (the stop relation of §3.1): u must be a
+   generated node; its frontier terms come from its trigger. *)
+let node_stops g ~stopper ~stopped =
+  match g.nodes.(stopped).origin with
+  | None -> false
+  | Some trigger ->
+      Stop.stops
+        ~frontier:(Trigger.frontier_terms trigger)
+        ~candidate:g.nodes.(stopper).atom ~result:g.nodes.(stopped).atom
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>";
+  Array.iter
+    (fun n ->
+      Format.fprintf ppf "%3d [d%d] %s  %s  parents:[%s]@," n.id n.depth
+        (Atom.to_string n.atom)
+        (match n.origin with None -> "⊥" | Some t -> Trigger.to_string t)
+        (String.concat "," (List.map string_of_int (Array.to_list n.parents))))
+    g.nodes;
+  Format.fprintf ppf "complete: %b, horizon: %d@]" g.complete g.horizon

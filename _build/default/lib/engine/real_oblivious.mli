@@ -1,0 +1,57 @@
+(** The real oblivious chase ochase(D,T) (paper Def 3.3): a labeled graph
+    whose nodes are database atoms and trigger applications, with the
+    unambiguous parent relation ≺p.  Copies of the same atom produced by
+    different parent tuples are distinct nodes — ochase is a multiset
+    (cf. Example 3.2/3.4).
+
+    Materialized breadth-first up to node/depth budgets; round [r]
+    produces exactly the nodes of depth [r], so truncation is
+    depth-complete up to [horizon]. *)
+
+open Chase_core
+
+type node = {
+  id : int;
+  depth : int;
+  atom : Atom.t;  (** λ(v) *)
+  origin : Trigger.t option;  (** τ(v); [None] (⊥) for database atoms *)
+  parents : int array;  (** ≺p, aligned with the TGD's body atoms *)
+}
+
+type t
+
+val nodes : t -> node array
+val node : t -> int -> node
+val size : t -> int
+
+(** False when the node budget truncated the construction. *)
+val complete : t -> bool
+
+(** Every node of depth ≤ horizon is present. *)
+val horizon : t -> int
+
+(** The multiset of atoms, as a list with duplicates. *)
+val atoms : t -> Atom.t list
+
+(** The set of atoms — coincides with the (set-based) oblivious chase. *)
+val atom_set : t -> Instance.t
+
+(** Multiplicity of an atom in the multiset. *)
+val copies : t -> Atom.t -> int
+
+val parents : t -> int -> int list
+val children : t -> int -> int list
+val nodes_with_pred : t -> string -> int list
+
+val default_max_nodes : int
+val default_max_depth : int
+
+(** Build ochase(D,T) for single-head TGDs.
+    @raise Invalid_argument on multi-head TGDs. *)
+val build : ?max_nodes:int -> ?max_depth:int -> Tgd.t list -> Instance.t -> t
+
+(** λ(stopper) ≺s λ(stopped) (§3.1); false when [stopped] is a database
+    node. *)
+val node_stops : t -> stopper:int -> stopped:int -> bool
+
+val pp : Format.formatter -> t -> unit

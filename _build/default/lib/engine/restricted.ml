@@ -1,0 +1,138 @@
+(* The restricted (standard) chase (paper §3.2).
+
+   Starting from a database, repeatedly apply an *active* trigger until no
+   active trigger remains (Terminated) or a step budget runs out.  Which
+   active trigger is applied is the engine's only source of
+   non-determinism, made explicit by [strategy]: the paper's CTres∀∀
+   quantifies over all derivations, so callers can steer it.
+
+   Candidate triggers are discovered incrementally: once an atom is added,
+   only triggers whose body uses that atom are new.  Activity is monotone
+   downwards (instances only grow, so a satisfied head stays satisfied), so
+   a candidate found inactive can be dropped for good. *)
+
+open Chase_core
+
+type strategy =
+  | Fifo  (* oldest candidate first — yields fair derivations *)
+  | Lifo  (* newest candidate first — depth-first, possibly unfair *)
+  | Random of int  (* uniformly random candidate, seeded *)
+
+module TrigSet = Set.Make (Trigger)
+
+(* A simple pool of pending candidate triggers with the three policies. *)
+module Pool = struct
+  type t = {
+    mutable fifo_front : Trigger.t list;
+    mutable fifo_back : Trigger.t list;
+    mutable seen : TrigSet.t;
+    strategy : strategy;
+    rng : Random.State.t option;
+    mutable store : Trigger.t list;  (* Lifo / Random storage *)
+  }
+
+  let create strategy =
+    let rng = match strategy with Random seed -> Some (Random.State.make [| seed |]) | _ -> None in
+    { fifo_front = []; fifo_back = []; seen = TrigSet.empty; strategy; rng; store = [] }
+
+  let push pool t =
+    if TrigSet.mem t pool.seen then ()
+    else begin
+      pool.seen <- TrigSet.add t pool.seen;
+      match pool.strategy with
+      | Fifo -> pool.fifo_back <- t :: pool.fifo_back
+      | Lifo | Random _ -> pool.store <- t :: pool.store
+    end
+
+  let pop pool =
+    match pool.strategy with
+    | Fifo -> (
+        match pool.fifo_front with
+        | t :: rest ->
+            pool.fifo_front <- rest;
+            Some t
+        | [] -> (
+            match List.rev pool.fifo_back with
+            | [] -> None
+            | t :: rest ->
+                pool.fifo_front <- rest;
+                pool.fifo_back <- [];
+                Some t))
+    | Lifo -> (
+        match pool.store with
+        | [] -> None
+        | t :: rest ->
+            pool.store <- rest;
+            Some t)
+    | Random _ -> (
+        match pool.store with
+        | [] -> None
+        | store ->
+            let rng = Option.get pool.rng in
+            let n = List.length store in
+            let k = Random.State.int rng n in
+            let picked = List.nth store k in
+            pool.store <- List.filteri (fun i _ -> i <> k) store;
+            Some picked)
+end
+
+let default_max_steps = 10_000
+
+let run ?(strategy = Fifo) ?(max_steps = default_max_steps) ?(naming = `Fresh) ?gen tgds database
+    =
+  (* [`Canonical] names nulls c^{σ,h}_x as in Def 3.1, so produced atoms
+     coincide literally with real-oblivious-chase atoms (used when mapping
+     derivations into ochase(D,T)); [`Fresh] uses a cheap counter. *)
+  let gen =
+    match (naming, gen) with
+    | `Canonical, _ -> None
+    | `Fresh, Some g -> Some g
+    | `Fresh, None -> Some (Term.Gen.create ())
+  in
+  let pool = Pool.create strategy in
+  Seq.iter (Pool.push pool) (Trigger.all tgds database);
+  let rec loop instance steps_rev n =
+    if n >= max_steps then
+      (* Budget exhausted; find out whether anything was actually left. *)
+      let status =
+        if Trigger.all tgds instance |> Seq.exists (Trigger.is_active instance) then
+          Derivation.Out_of_budget
+        else Derivation.Terminated
+      in
+      Derivation.make ~database ~steps:(List.rev steps_rev) ~status
+    else
+      match Pool.pop pool with
+      | None -> Derivation.make ~database ~steps:(List.rev steps_rev) ~status:Terminated
+      | Some trigger ->
+          if not (Trigger.is_active instance trigger) then loop instance steps_rev n
+          else begin
+            let after, produced = Trigger.apply ?gen instance trigger in
+            List.iter
+              (fun atom -> Seq.iter (Pool.push pool) (Trigger.involving tgds after atom))
+              produced;
+            let step =
+              {
+                Derivation.index = n;
+                trigger;
+                produced;
+                frontier = Trigger.frontier_terms trigger;
+                after;
+              }
+            in
+            loop after (step :: steps_rev) (n + 1)
+          end
+  in
+  loop database [] 0
+
+(* Convenience: chase to completion or fail. *)
+exception Did_not_terminate of Derivation.t
+
+let run_exn ?strategy ?max_steps ?naming ?gen tgds database =
+  let d = run ?strategy ?max_steps ?naming ?gen tgds database in
+  match Derivation.status d with
+  | Terminated -> Derivation.final d
+  | Out_of_budget -> raise (Did_not_terminate d)
+
+(* All active triggers on an instance, eagerly. *)
+let active_triggers tgds instance =
+  Trigger.all tgds instance |> Seq.filter (Trigger.is_active instance) |> List.of_seq

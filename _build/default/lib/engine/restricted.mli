@@ -1,0 +1,39 @@
+(** The restricted (standard) chase (paper §3.2): apply only {e active}
+    triggers until none remains.  Trigger choice is the only source of
+    non-determinism; [strategy] makes it explicit and reproducible. *)
+
+open Chase_core
+
+type strategy =
+  | Fifo  (** oldest candidate first — yields fair derivations *)
+  | Lifo  (** newest candidate first — depth-first, possibly unfair *)
+  | Random of int  (** uniformly random active candidate, seeded *)
+
+val default_max_steps : int
+
+(** Run the restricted chase.  Stops when no active trigger remains
+    ([Terminated]) or after [max_steps] applications ([Out_of_budget]). *)
+val run :
+  ?strategy:strategy ->
+  ?max_steps:int ->
+  ?naming:[ `Fresh | `Canonical ] ->
+  ?gen:Term.Gen.t ->
+  Tgd.t list ->
+  Instance.t ->
+  Derivation.t
+
+exception Did_not_terminate of Derivation.t
+
+(** The final instance of a terminating run.
+    @raise Did_not_terminate when the budget runs out first. *)
+val run_exn :
+  ?strategy:strategy ->
+  ?max_steps:int ->
+  ?naming:[ `Fresh | `Canonical ] ->
+  ?gen:Term.Gen.t ->
+  Tgd.t list ->
+  Instance.t ->
+  Instance.t
+
+(** All active triggers on an instance. *)
+val active_triggers : Tgd.t list -> Instance.t -> Trigger.t list

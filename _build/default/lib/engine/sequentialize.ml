@@ -1,0 +1,112 @@
+(* Sequentializing a parallel chase run — the Extract(K,T) algorithm of
+   the paper's App. C.2 (Step 3), as an engine feature.
+
+   The parallel (weakly restricted) chase may apply triggers that a
+   sequential restricted chase would never fire: a same-round neighbour
+   can deactivate them.  Extract replays the parallel run's atoms in
+   round order through the paper's Pending / Born / Stopped loop:
+
+     - take the least pending atom;
+     - if some active trigger of the current sequential instance produces
+       it, apply that trigger (the atom is Born);
+     - otherwise mark it Stopped together with its entire guard-subtree
+       (its descendants relied on it).
+
+   The result is always a valid restricted chase derivation (each step
+   re-checks activeness); on guarded single-head inputs it is exactly the
+   paper's construction, whose Loop Invariant (Lemma C.9) guarantees that
+   enough side-parents survive. *)
+
+open Chase_core
+
+type outcome = {
+  derivation : Derivation.t;
+  born : int;
+  stopped : int;
+}
+
+(* Atoms of the parallel run in round order, each with the trigger that
+   produced it and its parent atoms (body images). *)
+let enumerate (result : Parallel.result) =
+  List.concat_map
+    (fun (round : Parallel.round) ->
+      List.filter_map
+        (fun trigger ->
+          match Trigger.result trigger with
+          | [ atom ] ->
+              let parents =
+                List.map
+                  (Substitution.apply_atom (Trigger.hom trigger))
+                  (Tgd.body (Trigger.tgd trigger))
+              in
+              Some (atom, trigger, parents)
+          | _ -> None (* multi-head rounds are not sequentialized *))
+        round.Parallel.applied)
+    result.Parallel.rounds
+
+let run tgds (result : Parallel.result) =
+  ignore tgds;
+  let pending = enumerate result in
+  let stopped_atoms = ref Atom.Set.empty in
+  let database = result.Parallel.database in
+  let rec go pending instance steps index born stopped =
+    match pending with
+    | [] ->
+        {
+          derivation =
+            Derivation.make ~database ~steps:(List.rev steps)
+              ~status:Derivation.Out_of_budget;
+          born;
+          stopped;
+        }
+    | (atom, trigger, parents) :: rest ->
+        (* descendants of a stopped atom are stopped too *)
+        if List.exists (fun p -> Atom.Set.mem p !stopped_atoms) parents then begin
+          stopped_atoms := Atom.Set.add atom !stopped_atoms;
+          go rest instance steps index born (stopped + 1)
+        end
+        else if Instance.mem atom instance then
+          (* produced earlier (set semantics): nothing to do *)
+          go rest instance steps index born stopped
+        else if
+          List.for_all (fun p -> Instance.mem p instance) parents
+          && Trigger.is_active instance trigger
+        then begin
+          (* the parallel run used fresh nulls; re-deriving the trigger on
+             the sequential instance produces the same atom because the
+             homomorphism is recorded *)
+          let after = Instance.add atom instance in
+          let step =
+            {
+              Derivation.index;
+              trigger;
+              produced = [ atom ];
+              frontier = Trigger.frontier_terms trigger;
+              after;
+            }
+          in
+          go rest after (step :: steps) (index + 1) (born + 1) stopped
+        end
+        else begin
+          stopped_atoms := Atom.Set.add atom !stopped_atoms;
+          go rest instance steps index born (stopped + 1)
+        end
+  in
+  go pending database [] 0 0 0
+
+(* Run the parallel chase and sequentialize it; when the parallel run
+   saturated and nothing was stopped, the sequential derivation ends in a
+   genuinely terminated state — re-checked and upgraded. *)
+let parallel_then_extract ?max_rounds tgds database =
+  let presult = Parallel.run ?max_rounds tgds database in
+  let out = run tgds presult in
+  let d = out.derivation in
+  let final = Derivation.final d in
+  if Restricted.active_triggers tgds final = [] then
+    {
+      out with
+      derivation =
+        Derivation.make ~database:(Derivation.database d) ~steps:(Derivation.steps d)
+          ~status:Derivation.Terminated;
+    }
+  else out

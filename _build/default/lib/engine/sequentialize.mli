@@ -1,0 +1,24 @@
+(** Sequentializing a parallel chase run — the Extract(K,T) loop of the
+    paper's App. C.2 as an engine feature: replay the parallel run's atoms
+    in round order, applying each producing trigger only if it is active
+    on the sequential instance, and stopping the guard-subtree of every
+    atom whose trigger is not.  The output always validates as a
+    restricted chase derivation. *)
+
+open Chase_core
+
+type outcome = {
+  derivation : Derivation.t;
+  born : int;  (** atoms replayed into the sequential derivation *)
+  stopped : int;  (** atoms skipped (deactivated or orphaned) *)
+}
+
+(** Atoms of a parallel run in round order with their triggers and parent
+    atoms (multi-head rounds are skipped). *)
+val enumerate : Parallel.result -> (Atom.t * Trigger.t * Atom.t list) list
+
+val run : Tgd.t list -> Parallel.result -> outcome
+
+(** Parallel chase followed by extraction; upgrades the status to
+    [Terminated] when nothing remains active. *)
+val parallel_then_extract : ?max_rounds:int -> Tgd.t list -> Instance.t -> outcome

@@ -1,0 +1,37 @@
+(* The stop relation ≺s (paper §3.1).
+
+   α ≺s β — "α stops β" — where β = result(σ,h), holds when there is a
+   homomorphism h' with h'(β) = α and h'(t) = t for every frontier term t
+   of β.  Intuitively: in the presence of α, the trigger producing β is not
+   active (Fact 3.5).  Operationally this is a position-wise match of β
+   onto α with the frontier terms (and constants) frozen. *)
+
+open Chase_core
+
+(* candidate α ≺s result β, with [frontier] = fr(result) = the terms of β
+   at its frontier positions. *)
+let stops ~frontier ~candidate ~result =
+  Option.is_some
+    (Homomorphism.match_atom ~frozen:frontier ~pattern:result ~target:candidate
+       Substitution.empty)
+
+(* Fact 3.5: a trigger is active on I iff no atom of I stops its result.
+   (The paper states it for subsets of the real oblivious chase; the
+   argument is position-wise and holds verbatim for single-head TGDs.) *)
+let trigger_stopped_by instance trigger =
+  let result =
+    match Trigger.result trigger with
+    | [ a ] -> a
+    | _ -> invalid_arg "Stop.trigger_stopped_by: single-head TGDs only"
+  in
+  let frontier = Trigger.frontier_terms trigger in
+  let candidates = Instance.with_pred instance (Atom.pred result) in
+  List.find_opt (fun candidate -> stops ~frontier ~candidate ~result) candidates
+
+let is_active_via_stop instance trigger =
+  Option.is_none (trigger_stopped_by instance trigger)
+
+(* ≺s between two produced atoms of a derivation: the stopping atom α and
+   the stopped atom β with β's frontier terms. *)
+let atom_stops ~frontier_of_result alpha beta =
+  stops ~frontier:frontier_of_result ~candidate:alpha ~result:beta

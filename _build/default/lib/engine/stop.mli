@@ -1,0 +1,18 @@
+(** The stop relation ≺s (paper §3.1) and Fact 3.5. *)
+
+open Chase_core
+
+(** [stops ~frontier ~candidate ~result]: candidate ≺s result, where
+    [frontier] is the set of frontier terms of [result]. *)
+val stops : frontier:Term.Set.t -> candidate:Atom.t -> result:Atom.t -> bool
+
+(** The atom of the instance stopping the trigger's result, if any
+    (single-head TGDs only).
+    @raise Invalid_argument on a multi-head TGD. *)
+val trigger_stopped_by : Instance.t -> Trigger.t -> Atom.t option
+
+(** Fact 3.5: equivalent to {!Trigger.is_active} for single-head TGDs. *)
+val is_active_via_stop : Instance.t -> Trigger.t -> bool
+
+(** α ≺s β given β's frontier terms. *)
+val atom_stops : frontier_of_result:Term.Set.t -> Atom.t -> Atom.t -> bool

@@ -1,0 +1,45 @@
+(** Triggers and trigger application (paper Def 3.1). *)
+
+open Chase_core
+
+type t
+
+val make : Tgd.t -> Substitution.t -> t
+val tgd : t -> Tgd.t
+val hom : t -> Substitution.t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** h|fr(σ). *)
+val frontier_hom : t -> Substitution.t
+
+(** All triggers for the TGDs on the instance, lazily. *)
+val all : Tgd.t list -> Instance.t -> t Seq.t
+
+(** Triggers whose body match uses the given atom — the incremental
+    frontier of the chase. *)
+val involving : Tgd.t list -> Instance.t -> Atom.t -> t Seq.t
+
+(** Active trigger test: no extension of [h|fr(σ)] maps the head into the
+    instance. *)
+val is_active : Instance.t -> t -> bool
+
+(** The canonical null c^{σ,h}_x for an existential variable name [x]. *)
+val canonical_null : t -> string -> Term.t
+
+(** The head instantiation [v] of Def 3.1.  With [gen], existential
+    witnesses are fresh nulls from the generator; otherwise they are the
+    canonical nulls, making [result] deterministic in the trigger. *)
+val head_instantiation : ?gen:Term.Gen.t -> t -> Substitution.t
+
+(** result(σ,h): the produced atoms (a singleton for single-head TGDs). *)
+val result : ?gen:Term.Gen.t -> t -> Atom.t list
+
+(** The frontier terms of the produced atoms — what ≺s must fix. *)
+val frontier_terms : t -> Term.Set.t
+
+(** One application I⟨σ,h⟩J; returns J and the produced atoms. *)
+val apply : ?gen:Term.Gen.t -> Instance.t -> t -> Instance.t * Atom.t list
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/parser/parser.ml: Atom Chase_core Format Fun Lexer List Printf Program Term Tgd Token

@@ -1,0 +1,1 @@
+lib/parser/parser.mli: Atom Chase_core Instance Program Tgd

@@ -1,0 +1,1 @@
+lib/parser/printer.ml: Atom Buffer Chase_core Hashtbl Instance List Printf Program String Term Tgd

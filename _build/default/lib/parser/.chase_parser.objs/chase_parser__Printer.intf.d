@@ -1,0 +1,1 @@
+lib/parser/printer.mli: Atom Chase_core Program Tgd

@@ -1,0 +1,1 @@
+lib/parser/program.ml: Chase_core Instance Schema Tgd

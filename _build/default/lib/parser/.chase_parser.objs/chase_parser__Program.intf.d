@@ -1,0 +1,1 @@
+lib/parser/program.mli: Atom Chase_core Instance Schema Tgd

@@ -1,0 +1,124 @@
+(* A hand-written lexer for the Datalog± surface syntax. *)
+
+exception Error of { line : int; col : int; msg : string }
+
+let error line col fmt = Format.kasprintf (fun msg -> raise (Error { line; col; msg })) fmt
+
+type state = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let make src = { src; pos = 0; line = 1; col = 1 }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+let is_var_start c = (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '%' ->
+      skip_line st;
+      skip_trivia st
+  | Some '/' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '/' ->
+      skip_line st;
+      skip_trivia st
+  | _ -> ()
+
+and skip_line st =
+  match peek st with
+  | Some '\n' | None -> ()
+  | Some _ ->
+      advance st;
+      skip_line st
+
+let lex_word st =
+  let start = st.pos in
+  let rec go () =
+    match peek st with
+    | Some c when is_ident_char c ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  String.sub st.src start (st.pos - start)
+
+let lex_quoted st =
+  let line = st.line and col = st.col in
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error line col "unterminated string"
+    | Some '"' -> advance st
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let next st : Token.located =
+  skip_trivia st;
+  let line = st.line and col = st.col in
+  let mk token : Token.located = { token; line; col } in
+  match peek st with
+  | None -> mk Eof
+  | Some '(' ->
+      advance st;
+      mk Lparen
+  | Some ')' ->
+      advance st;
+      mk Rparen
+  | Some ',' ->
+      advance st;
+      mk Comma
+  | Some '.' ->
+      advance st;
+      mk Dot
+  | Some ':' ->
+      advance st;
+      mk Colon
+  | Some '"' -> mk (Quoted (lex_quoted st))
+  | Some '-' ->
+      advance st;
+      (match peek st with
+      | Some '>' ->
+          advance st;
+          mk Arrow
+      | _ -> error line col "expected '>' after '-'")
+  | Some c when is_var_start c -> mk (Uident (lex_word st))
+  | Some c when is_ident_start c -> (
+      let w = lex_word st in
+      match w with
+      | "exists" -> mk Exists
+      | "false" -> mk Bot
+      | _ -> mk (Ident w))
+  | Some c -> error line col "unexpected character %C" c
+
+(* Tokenize the whole input. *)
+let tokenize src =
+  let st = make src in
+  let rec go acc =
+    let t = next st in
+    match t.token with Token.Eof -> List.rev (t :: acc) | _ -> go (t :: acc)
+  in
+  go []

@@ -1,0 +1,35 @@
+(** Recursive-descent parser for the Datalog± surface syntax:
+
+    {v
+    % comments run to end of line ('//' works too)
+    name: body_atom, ... -> [exists V1,V2.] head_atom, ... .
+    fact(a,b).
+    v}
+
+    Uppercase- or underscore-initial identifiers are variables; lowercase
+    identifiers and quoted strings are constants.  Head variables not
+    bound in the body are implicitly existential; an explicit [exists]
+    list is checked against them. *)
+
+open Chase_core
+
+exception Error of { line : int; col : int; msg : string }
+
+(** Parse a whole program (TGDs and facts, interleaved). *)
+val parse_program : string -> Program.t
+
+(** Just the TGDs. *)
+val parse_tgds : string -> Tgd.t list
+
+(** Exactly one TGD.
+    @raise Invalid_argument when the input has several. *)
+val parse_tgd : string -> Tgd.t
+
+(** Just the facts. *)
+val parse_database : string -> Instance.t
+
+(** A single atom (optionally followed by a dot). *)
+val parse_atom_exn : string -> Atom.t
+
+(** Parse a program file. *)
+val load_file : string -> Program.t

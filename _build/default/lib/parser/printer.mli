@@ -1,0 +1,12 @@
+(** Pretty-printer emitting the surface syntax; {!Parser.parse_program}
+    round-trips its output.  Variable names are adapted to the concrete
+    syntax's uppercase-initial convention, injectively per TGD. *)
+
+open Chase_core
+
+(** Can a constant be printed bare (no quotes)? *)
+val is_bare_const : string -> bool
+
+val print_fact : Atom.t -> string
+val print_tgd : Tgd.t -> string
+val print_program : Program.t -> string

@@ -1,0 +1,15 @@
+(** A parsed program: a TGD set together with a database of facts. *)
+
+open Chase_core
+
+type t
+
+val empty : t
+val tgds : t -> Tgd.t list
+val database : t -> Instance.t
+val add_tgd : Tgd.t -> t -> t
+val add_fact : Atom.t -> t -> t
+
+(** The combined schema of the TGDs and facts.
+    @raise Schema.Arity_mismatch on inconsistent arities. *)
+val schema : t -> Schema.t

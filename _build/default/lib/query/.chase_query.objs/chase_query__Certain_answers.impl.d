@@ -1,0 +1,1 @@
+lib/query/certain_answers.ml: Chase_core Chase_engine Chase_termination Conjunctive_query Derivation Instance List Restricted Term

@@ -1,0 +1,1 @@
+lib/query/certain_answers.mli: Chase_core Chase_engine Conjunctive_query Derivation Instance Result Term Tgd

@@ -1,0 +1,1 @@
+lib/query/conjunctive_query.ml: Atom Chase_core Chase_parser Format Homomorphism List Seq String Substitution Term Tgd

@@ -1,0 +1,1 @@
+lib/query/conjunctive_query.mli: Atom Chase_core Format Instance Term

@@ -1,0 +1,1 @@
+lib/query/containment.ml: Atom Chase_core Chase_engine Conjunctive_query Derivation Homomorphism Instance List Restricted Substitution Term

@@ -1,0 +1,1 @@
+lib/query/containment.mli: Chase_core Conjunctive_query Instance Tgd

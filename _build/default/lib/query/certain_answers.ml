@@ -1,0 +1,40 @@
+(* Certain answers via chase materialization (paper §1): when the
+   restricted chase of (D, T) terminates, its result is a universal model,
+   so the certain answers of a CQ are exactly its null-free answers over
+   the chase result. *)
+
+open Chase_core
+open Chase_engine
+
+type result = {
+  answers : Term.t list list;  (* null-free tuples only *)
+  chase_size : int;
+  chase_steps : int;
+}
+
+exception Chase_diverged of Derivation.t
+
+let compute ?(max_steps = 20_000) ~tgds ~database query =
+  let derivation = Restricted.run ~max_steps tgds database in
+  match Derivation.status derivation with
+  | Derivation.Out_of_budget -> raise (Chase_diverged derivation)
+  | Derivation.Terminated ->
+      let model = Derivation.final derivation in
+      let all = Conjunctive_query.answers query model in
+      let certain = List.filter (List.for_all Term.is_const) all in
+      {
+        answers = certain;
+        chase_size = Instance.cardinal model;
+        chase_steps = Derivation.length derivation;
+      }
+
+(* Guarded certain answering with a termination pre-check: refuse to
+   chase when the facade decider knows the set diverges. *)
+let compute_checked ?max_steps ~tgds ~database query =
+  match (Chase_termination.Decider.decide tgds).Chase_termination.Decider.answer with
+  | Chase_termination.Decider.Non_terminating ->
+      Error "the TGD set is non-terminating: materialization refused"
+  | Chase_termination.Decider.Terminating | Chase_termination.Decider.Unknown -> (
+      match compute ?max_steps ~tgds ~database query with
+      | r -> Ok r
+      | exception Chase_diverged _ -> Error "chase budget exceeded")

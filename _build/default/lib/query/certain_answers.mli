@@ -1,0 +1,27 @@
+(** Certain answers via chase materialization (paper §1): over a
+    terminating restricted chase result — a universal model — the certain
+    answers of a CQ are its null-free answers. *)
+
+open Chase_core
+open Chase_engine
+
+type result = {
+  answers : Term.t list list;  (** null-free tuples only *)
+  chase_size : int;
+  chase_steps : int;
+}
+
+exception Chase_diverged of Derivation.t
+
+(** @raise Chase_diverged when the chase budget runs out. *)
+val compute :
+  ?max_steps:int -> tgds:Tgd.t list -> database:Instance.t -> Conjunctive_query.t -> result
+
+(** Like {!compute}, but first consults the termination decider and
+    refuses provably non-terminating TGD sets. *)
+val compute_checked :
+  ?max_steps:int ->
+  tgds:Tgd.t list ->
+  database:Instance.t ->
+  Conjunctive_query.t ->
+  (result, string) Result.t

@@ -1,0 +1,53 @@
+(* Conjunctive queries, evaluated by homomorphism search — the consumers
+   of chase-materialized instances (paper §1's motivating application). *)
+
+open Chase_core
+
+type t = { name : string; answer_vars : Term.t list; body : Atom.t list }
+
+let make ?(name = "q") ~answer_vars ~body () =
+  let body_vars =
+    List.fold_left (fun s a -> Term.Set.union (Atom.var_set a) s) Term.Set.empty body
+  in
+  List.iter
+    (fun v ->
+      match v with
+      | Term.Var _ ->
+          if not (Term.Set.mem v body_vars) then
+            invalid_arg "Conjunctive_query.make: unsafe answer variable"
+      | Term.Const _ | Term.Null _ ->
+          invalid_arg "Conjunctive_query.make: answer terms must be variables")
+    answer_vars;
+  { name; answer_vars; body }
+
+let name q = q.name
+let answer_vars q = q.answer_vars
+let body q = q.body
+
+let boolean ?(name = "q") body = { name; answer_vars = []; body }
+
+(* Surface syntax piggybacking on the TGD parser:
+   "r(X,Y), s(Y) -> ans(X)." — the head atom lists the answer variables. *)
+let parse src =
+  let tgd = Chase_parser.Parser.parse_tgd src in
+  let head =
+    match Tgd.head tgd with [ h ] -> h | _ -> invalid_arg "query: one head atom"
+  in
+  make ~name:(Atom.pred head) ~answer_vars:(Atom.terms head) ~body:(Tgd.body tgd) ()
+
+(* All answer tuples over an instance (with duplicates removed). *)
+let answers q instance =
+  Homomorphism.all q.body instance
+  |> Seq.map (fun h -> List.map (Substitution.apply_term h) q.answer_vars)
+  |> List.of_seq
+  |> List.sort_uniq (List.compare Term.compare)
+
+let holds q instance = answers (boolean q.body) instance <> []
+
+let tuple_to_string tuple =
+  "(" ^ String.concat ", " (List.map Term.to_string tuple) ^ ")"
+
+let pp ppf q =
+  Format.fprintf ppf "%s(%s) <- %s" q.name
+    (String.concat "," (List.map Term.to_string q.answer_vars))
+    (String.concat ", " (List.map Atom.to_string q.body))

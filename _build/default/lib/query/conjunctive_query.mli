@@ -1,0 +1,32 @@
+(** Conjunctive queries, evaluated by homomorphism search — the consumers
+    of chase-materialized instances (paper §1). *)
+
+open Chase_core
+
+type t
+
+(** Build a safe CQ: every answer variable must occur in the body.
+    @raise Invalid_argument otherwise, or when an answer term is not a
+    variable. *)
+val make : ?name:string -> answer_vars:Term.t list -> body:Atom.t list -> unit -> t
+
+val name : t -> string
+val answer_vars : t -> Term.t list
+val body : t -> Atom.t list
+
+(** A boolean query (no answer variables). *)
+val boolean : ?name:string -> Atom.t list -> t
+
+(** Surface syntax, piggybacking on the TGD parser:
+    ["r(X,Y), s(Y) -> ans(X)."] — the head atom lists the answer
+    variables. *)
+val parse : string -> t
+
+(** All answer tuples over an instance, deduplicated and sorted. *)
+val answers : t -> Instance.t -> Term.t list list
+
+(** Boolean satisfaction. *)
+val holds : t -> Instance.t -> bool
+
+val tuple_to_string : Term.t list -> string
+val pp : Format.formatter -> t -> unit

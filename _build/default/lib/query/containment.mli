@@ -1,0 +1,28 @@
+(** Conjunctive query containment under TGDs (paper §1): q₁ ⊑_T q₂ iff q₂
+    maps into the chase of q₁'s canonical database with answer variables
+    matched — computable when that chase terminates. *)
+
+open Chase_core
+
+(** The canonical (frozen) database of a query. *)
+val canonical_database : Conjunctive_query.t -> Instance.t
+
+(** [contained_in ~tgds q1 q2]: q₁ ⊑_T q₂; [Error] when the chase of the
+    canonical database exceeds the budget.
+    @raise Invalid_argument when the answer arities differ. *)
+val contained_in :
+  ?max_steps:int ->
+  tgds:Tgd.t list ->
+  Conjunctive_query.t ->
+  Conjunctive_query.t ->
+  (bool, string) result
+
+val equivalent :
+  ?max_steps:int ->
+  tgds:Tgd.t list ->
+  Conjunctive_query.t ->
+  Conjunctive_query.t ->
+  (bool, string) result
+
+(** Containment without constraints — the classic homomorphism check. *)
+val contained_in_plain : Conjunctive_query.t -> Conjunctive_query.t -> (bool, string) result

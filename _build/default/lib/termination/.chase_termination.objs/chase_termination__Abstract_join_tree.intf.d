@@ -1,0 +1,1 @@
+lib/termination/abstract_join_tree.mli: Atom Chase_core Chase_engine Derivation Instance Tgd

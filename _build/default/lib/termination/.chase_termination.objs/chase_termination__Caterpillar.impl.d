@@ -1,0 +1,1 @@
+lib/termination/caterpillar.ml: Array Atom Chase_core Chase_engine Format Hashtbl Instance List Printf Result Stop String Substitution Term Tgd Trigger

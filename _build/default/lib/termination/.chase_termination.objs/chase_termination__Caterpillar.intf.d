@@ -1,0 +1,1 @@
+lib/termination/caterpillar.mli: Atom Chase_core Chase_engine Format Instance Tgd Trigger

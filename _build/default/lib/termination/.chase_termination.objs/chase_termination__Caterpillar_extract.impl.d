@@ -1,0 +1,1 @@
+lib/termination/caterpillar_extract.ml: Array Atom Caterpillar Chase_classes Chase_core Chase_engine Derivation Hashtbl Instance Int List Map Option Printf Result Substitution Term Tgd Trigger

@@ -1,0 +1,1 @@
+lib/termination/caterpillar_extract.mli: Caterpillar Chase_core Chase_engine Derivation Tgd

@@ -1,0 +1,1 @@
+lib/termination/caterpillar_word.ml: Array Atom Caterpillar Chase_core Chase_engine Equality_type Format Fun List Result Sticky_automaton Term Tgd Trigger

@@ -1,0 +1,1 @@
+lib/termination/caterpillar_word.mli: Caterpillar Chase_core Equality_type Sticky_automaton Tgd

@@ -1,0 +1,1 @@
+lib/termination/chaseable.mli: Chase_engine Derivation Real_oblivious

@@ -1,0 +1,1 @@
+lib/termination/decider.ml: Chase_automata Chase_classes Chase_core Classification Format Guarded_decider Instance List Printf Sticky_decider

@@ -1,0 +1,1 @@
+lib/termination/decider.mli: Chase_classes Chase_core Classification Format

@@ -1,0 +1,1 @@
+lib/termination/derivation_search.ml: Atom Chase_core Chase_engine Derivation Hashtbl Instance List Printf Restricted String Term Trigger

@@ -1,0 +1,1 @@
+lib/termination/derivation_search.mli: Chase_core Chase_engine Derivation Instance Tgd

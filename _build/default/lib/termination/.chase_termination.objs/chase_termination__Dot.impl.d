@@ -1,0 +1,1 @@
+lib/termination/dot.ml: Abstract_join_tree Array Atom Buffer Chase_core Chase_engine Join_tree List Printf Real_oblivious String Tgd Trigger

@@ -1,0 +1,1 @@
+lib/termination/dot.mli: Abstract_join_tree Chase_engine Join_tree Real_oblivious

@@ -1,0 +1,1 @@
+lib/termination/fairness.mli: Atom Chase_core Chase_engine Derivation Tgd Trigger

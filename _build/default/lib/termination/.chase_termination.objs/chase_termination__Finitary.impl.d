@@ -1,0 +1,1 @@
+lib/termination/finitary.ml: Atom Caterpillar Chase_core Chase_engine Hashtbl Instance List Printf Substitution Term Tgd Trigger

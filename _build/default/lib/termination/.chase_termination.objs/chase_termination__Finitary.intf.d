@@ -1,0 +1,1 @@
+lib/termination/finitary.mli: Atom Caterpillar Chase_core Term Tgd

@@ -1,0 +1,1 @@
+lib/termination/guarded_decider.mli: Abstract_join_tree Chase_core Chase_engine Derivation Instance Tgd Treeify

@@ -1,0 +1,1 @@
+lib/termination/guarded_structure.ml: Array Atom Chase_classes Chase_core Chase_engine Guardedness Hashtbl List Option Real_oblivious Sideatom_type Trigger

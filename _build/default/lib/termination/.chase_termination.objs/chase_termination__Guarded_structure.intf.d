@@ -1,0 +1,1 @@
+lib/termination/guarded_structure.mli: Atom Chase_core Chase_engine Hashtbl Real_oblivious Sideatom_type Tgd

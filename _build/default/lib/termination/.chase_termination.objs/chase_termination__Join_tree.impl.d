@@ -1,0 +1,1 @@
+lib/termination/join_tree.ml: Atom Chase_core Format Hashtbl Instance List Option Term

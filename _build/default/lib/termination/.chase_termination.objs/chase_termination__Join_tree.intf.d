@@ -1,0 +1,1 @@
+lib/termination/join_tree.mli: Atom Chase_core Format Instance

@@ -1,0 +1,1 @@
+lib/termination/linear_decider.ml: Chase_classes Chase_core Chase_engine Derivation_search Equality_type Guardedness Instance List Printf Schema Term Tgd

@@ -1,0 +1,1 @@
+lib/termination/linear_decider.mli: Chase_core Chase_engine Instance Tgd

@@ -1,0 +1,1 @@
+lib/termination/mfa.ml: Atom Chase_core Chase_engine Digest Hashtbl Instance List Option Printf Queue Schema Seq Set String Substitution Term Tgd Trigger

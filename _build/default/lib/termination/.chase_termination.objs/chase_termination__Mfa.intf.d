@@ -1,0 +1,1 @@
+lib/termination/mfa.mli: Chase_core Instance Tgd

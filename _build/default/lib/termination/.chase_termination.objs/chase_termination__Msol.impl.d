@@ -1,0 +1,1 @@
+lib/termination/msol.ml: Abstract_join_tree Array Atom Chase_classes Chase_core Equality_type Format Guardedness List Printf Schema Set Sideatom_type String Term Tgd

@@ -1,0 +1,1 @@
+lib/termination/msol.mli: Abstract_join_tree Chase_core Format Sideatom_type Tgd

@@ -1,0 +1,1 @@
+lib/termination/msol_eval.ml: Abstract_join_tree Array List Msol Option String

@@ -1,0 +1,1 @@
+lib/termination/msol_eval.mli: Abstract_join_tree Msol

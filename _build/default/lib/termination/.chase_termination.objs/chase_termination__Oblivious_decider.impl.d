@@ -1,0 +1,1 @@
+lib/termination/oblivious_decider.ml: Atom Chase_core Chase_engine Derivation Instance List Oblivious Restricted Schema Term

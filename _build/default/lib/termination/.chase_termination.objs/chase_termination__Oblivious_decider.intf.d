@@ -1,0 +1,1 @@
+lib/termination/oblivious_decider.mli: Chase_core Chase_engine Instance Oblivious Tgd

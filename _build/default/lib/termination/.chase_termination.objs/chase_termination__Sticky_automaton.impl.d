@@ -1,0 +1,1 @@
+lib/termination/sticky_automaton.ml: Array Atom Chase_automata Chase_classes Chase_core Chase_engine Equality_type Fun Hashtbl Int List Option Printf Schema Stickiness String Term Tgd

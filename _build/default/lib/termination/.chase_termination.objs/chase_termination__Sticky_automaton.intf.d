@@ -1,0 +1,1 @@
+lib/termination/sticky_automaton.mli: Chase_automata Chase_classes Chase_core Equality_type Stickiness Tgd

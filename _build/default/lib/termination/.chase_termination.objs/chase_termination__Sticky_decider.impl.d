@@ -1,0 +1,1 @@
+lib/termination/sticky_decider.ml: Array Atom Buchi Caterpillar Chase_automata Chase_core Chase_engine Equality_type Instance List Option Printf Sticky_automaton Substitution Term Tgd Trigger

@@ -1,0 +1,1 @@
+lib/termination/sticky_decider.mli: Buchi Caterpillar Chase_automata Chase_core Equality_type Sticky_automaton Tgd

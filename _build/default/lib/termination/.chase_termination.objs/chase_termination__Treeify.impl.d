@@ -1,0 +1,1 @@
+lib/termination/treeify.ml: Array Atom Chase_classes Chase_core Chase_engine Derivation Derivation_search Guardedness Hashtbl Instance Join_tree List Option Printf Substitution Term Tgd Trigger

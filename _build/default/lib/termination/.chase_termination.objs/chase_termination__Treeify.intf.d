@@ -1,0 +1,1 @@
+lib/termination/treeify.mli: Atom Chase_core Chase_engine Derivation Hashtbl Instance Join_tree Result Tgd

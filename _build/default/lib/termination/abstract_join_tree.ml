@@ -1,0 +1,503 @@
+(* Abstract join trees (paper Def 5.8) and their chaseability (Def 5.10).
+
+   An abstract join tree encodes an instance as a tree labeled over the
+   finite alphabet Λ_T = sch(T) × ({F} ∪ T) × EQ_T: each node carries a
+   predicate, an origin (database fact F, or the TGD that generated the
+   atom), and an equivalence relation over {father, me} × positions
+   stating which argument positions share terms, within the node and with
+   its father.  ∆(T) decodes the tree back into an instance by closing
+   these equalities transitively.
+
+   The paper feeds such trees to an MSOL sentence over infinite trees; we
+   provide the finite-tree data structure, the Def 5.8 validity check, the
+   ∆ decoding, the derived parent/stop/before relations of §5.3, and the
+   Def 5.10 chaseability check on finite trees — plus the encoding
+   direction: turning a (finite fragment of a) guarded chase into an
+   abstract join tree.  The guarded decider uses these as its certificate
+   language. *)
+
+open Chase_core
+open Chase_classes
+
+type origin = F | Rule of int  (* index into the TGD list *)
+
+(* The equivalence relation of a node's label, over
+   {f, m} × {0..ar-1}: [fm_class.(0).(i)] is the class of (f, i),
+   [fm_class.(1).(i)] of (m, i).  Canonicalized as a restricted growth
+   string over the concatenation f-positions ++ m-positions.  The root
+   has no father: its f-part has length 0. *)
+type eq_rel = { f_classes : int array; m_classes : int array }
+
+let eq_canonicalize f_raw m_raw =
+  let n_f = Array.length f_raw and n_m = Array.length m_raw in
+  let seen = Hashtbl.create 8 in
+  let next = ref 0 in
+  let canon raw =
+    Array.map
+      (fun c ->
+        match Hashtbl.find_opt seen c with
+        | Some x -> x
+        | None ->
+            let x = !next in
+            incr next;
+            Hashtbl.add seen c x;
+            x)
+      raw
+  in
+  ignore n_f;
+  ignore n_m;
+  let f_classes = canon f_raw in
+  let m_classes = canon m_raw in
+  { f_classes; m_classes }
+
+type node = {
+  pr : string;  (* predicate *)
+  org : origin;
+  eq : eq_rel;
+  children : node list;
+}
+
+type t = node
+
+let rec fold f acc n = List.fold_left (fold f) (f acc n) n.children
+let size t = fold (fun acc _ -> acc + 1) 0 t
+
+(* --- Def 5.8 validity ------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+let error fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let rec check_all f = function
+  | [] -> Ok ()
+  | x :: rest ->
+      let* () = f x in
+      check_all f rest
+
+let validate tgds (root : t) =
+  let tgds = Array.of_list tgds in
+  let arity_of_pred p =
+    let schema = Schema.of_tgds (Array.to_list tgds) in
+    Schema.arity p schema
+  in
+  (* (1) the F-nodes are non-empty (finiteness is automatic here) *)
+  let f_count = fold (fun acc n -> if n.org = F then acc + 1 else acc) 0 root in
+  let* () = if f_count > 0 then Ok () else error "no F-labeled nodes" in
+  let rec walk parent n =
+    (* arity sanity *)
+    let* ar =
+      match arity_of_pred n.pr with
+      | Some ar -> Ok ar
+      | None -> error "unknown predicate %s" n.pr
+    in
+    let* () =
+      if Array.length n.eq.m_classes = ar then Ok ()
+      else error "m-part of eq has wrong arity at a %s node" n.pr
+    in
+    let* () =
+      match parent with
+      | None ->
+          if Array.length n.eq.f_classes = 0 then Ok ()
+          else error "root node has a non-empty f-part"
+      | Some p ->
+          if Array.length n.eq.f_classes = Array.length p.eq.m_classes then Ok ()
+          else error "f-part arity does not match the father's predicate"
+    in
+    (* (2) children of a non-F node are non-F *)
+    let* () =
+      match parent with
+      | Some p when n.org = F && p.org <> F -> error "an F node below a generated node"
+      | _ -> Ok ()
+    in
+    (* (3)–(5) for generated nodes *)
+    let* () =
+      match (n.org, parent) with
+      | F, _ -> Ok ()
+      | Rule _, None -> error "the root must be an F node"
+      | Rule r, Some p ->
+          let* tgd =
+            if r >= 0 && r < Array.length tgds then Ok tgds.(r)
+            else error "TGD index %d out of range" r
+          in
+          let* guard =
+            match Guardedness.guard tgd with
+            | Some g -> Ok g
+            | None -> error "TGD %s is not guarded" (Tgd.name tgd)
+          in
+          let head = Tgd.head_atom tgd in
+          (* (3) predicates match guard and head *)
+          let* () =
+            if String.equal p.pr (Atom.pred guard) then Ok ()
+            else error "father predicate %s is not the guard predicate of %s" p.pr (Tgd.name tgd)
+          in
+          let* () =
+            if String.equal n.pr (Atom.pred head) then Ok ()
+            else error "node predicate %s is not the head predicate of %s" n.pr (Tgd.name tgd)
+          in
+          (* (4) the f-part mirrors the father's m-part *)
+          let nf = Array.length n.eq.f_classes in
+          let* () =
+            let ok = ref true in
+            for i = 0 to nf - 1 do
+              for j = 0 to nf - 1 do
+                let father_eq = p.eq.m_classes.(i) = p.eq.m_classes.(j) in
+                let here_eq = n.eq.f_classes.(i) = n.eq.f_classes.(j) in
+                if father_eq <> here_eq then ok := false
+              done
+            done;
+            if !ok then Ok () else error "condition (4) violated at a %s node" n.pr
+          in
+          (* (5a) guard[i] = head[j] implies (f,i) ~ (m,j) *)
+          let* () =
+            let ok = ref true in
+            for i = 0 to Atom.arity guard - 1 do
+              for j = 0 to Atom.arity head - 1 do
+                if
+                  Term.equal (Atom.arg guard i) (Atom.arg head j)
+                  && n.eq.f_classes.(i) <> n.eq.m_classes.(j)
+                then ok := false
+              done
+            done;
+            if !ok then Ok () else error "condition (5a) violated at a %s node" n.pr
+          in
+          (* (5b) guard[i] = guard[j] implies (f,i) ~ (f,j) *)
+          let* () =
+            let ok = ref true in
+            for i = 0 to Atom.arity guard - 1 do
+              for j = 0 to Atom.arity guard - 1 do
+                if
+                  Term.equal (Atom.arg guard i) (Atom.arg guard j)
+                  && n.eq.f_classes.(i) <> n.eq.f_classes.(j)
+                then ok := false
+              done
+            done;
+            if !ok then Ok () else error "condition (5b) violated at a %s node" n.pr
+          in
+          (* (5c) existential head[j]: (m,i) ~ (m,j) iff head[i] = head[j] *)
+          let existential = Tgd.existential_vars tgd in
+          let* () =
+            let ok = ref true in
+            for j = 0 to Atom.arity head - 1 do
+              if Term.Set.mem (Atom.arg head j) existential then
+                for i = 0 to Atom.arity head - 1 do
+                  let syntactic = Term.equal (Atom.arg head i) (Atom.arg head j) in
+                  let semantic = n.eq.m_classes.(i) = n.eq.m_classes.(j) in
+                  if syntactic <> semantic then ok := false
+                done
+            done;
+            if !ok then Ok () else error "condition (5c) violated at a %s node" n.pr
+          in
+          Ok ()
+    in
+    check_all (walk (Some n)) n.children
+  in
+  walk None root
+
+(* --- ∆ decoding ------------------------------------------------------- *)
+
+(* Union-find over (node id, position) pairs, driven by each node's eq
+   relation: (m,i) ~ (m,j) within a node, and (f,i) ~ (m-of-father,i)
+   across the edge. *)
+let decode root =
+  (* assign ids *)
+  let nodes = ref [] in
+  let rec number parent_id n =
+    let id = List.length !nodes in
+    nodes := (id, parent_id, n) :: !nodes;
+    List.iter (number (Some id)) n.children
+  in
+  number None root;
+  let nodes = List.rev !nodes in
+  let uf : (int * int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let rec find x =
+    match Hashtbl.find_opt uf x with
+    | None -> x
+    | Some p ->
+        let r = find p in
+        Hashtbl.replace uf x r;
+        r
+  in
+  let union x y =
+    let rx = find x and ry = find y in
+    if rx <> ry then Hashtbl.replace uf rx ry
+  in
+  List.iter
+    (fun (id, parent_id, n) ->
+      let ar = Array.length n.eq.m_classes in
+      (* within the node *)
+      for i = 0 to ar - 1 do
+        for j = i + 1 to ar - 1 do
+          if n.eq.m_classes.(i) = n.eq.m_classes.(j) then union (id, i) (id, j)
+        done
+      done;
+      (* with the father *)
+      match parent_id with
+      | None -> ()
+      | Some pid ->
+          let nf = Array.length n.eq.f_classes in
+          for i = 0 to nf - 1 do
+            (* (f,i) of this node is position i of the father *)
+            union (id + 0, -1 - i) (pid, i)
+            (* encode father positions seen from here as negative indices *)
+          done;
+          for i = 0 to nf - 1 do
+            for j = 0 to ar - 1 do
+              if n.eq.f_classes.(i) = n.eq.m_classes.(j) then union (id, -1 - i) (id, j)
+            done
+          done;
+          for i = 0 to nf - 1 do
+            for j = 0 to nf - 1 do
+              if n.eq.f_classes.(i) = n.eq.f_classes.(j) then union (id, -1 - i) (id, -1 - j)
+            done
+          done)
+    nodes;
+  (* terms per class *)
+  let term_of : (int * int, Term.t) Hashtbl.t = Hashtbl.create 64 in
+  let counter = ref 0 in
+  let term_for key =
+    let r = find key in
+    match Hashtbl.find_opt term_of r with
+    | Some t -> t
+    | None ->
+        let t = Term.Const (Printf.sprintf "d%d" !counter) in
+        incr counter;
+        Hashtbl.add term_of r t;
+        t
+  in
+  let atoms =
+    List.map
+      (fun (id, _, n) ->
+        let ar = Array.length n.eq.m_classes in
+        (id, n, Atom.make n.pr (List.init ar (fun i -> term_for (id, i)))))
+      nodes
+  in
+  (nodes, atoms)
+
+(* ∆(T): the decoded instance. *)
+let delta root =
+  let _, atoms = decode root in
+  Instance.of_list (List.map (fun (_, _, a) -> a) atoms)
+
+(* The decoded atoms with their pre-order node ids (the numbering the
+   MSOL evaluator uses as well). *)
+let atoms_with_ids root =
+  let _, atoms = decode root in
+  List.map (fun (id, _, a) -> (id, a)) atoms
+
+(* ∆(T|F): the decoded database — the F-labeled fragment. *)
+let delta_f root =
+  let _, atoms = decode root in
+  Instance.of_list (List.filter_map (fun (_, n, a) -> if n.org = F then Some a else None) atoms)
+
+(* --- Encoding: a guarded chase fragment as an abstract join tree ------ *)
+
+(* Joint canonicalization of father/me argument tuples by term equality. *)
+let eq_of_atoms ~father ~me =
+  let seen = ref Term.Map.empty in
+  let next = ref 0 in
+  let class_of t =
+    match Term.Map.find_opt t !seen with
+    | Some c -> c
+    | None ->
+        let c = !next in
+        incr next;
+        seen := Term.Map.add t c !seen;
+        c
+  in
+  let f_raw =
+    match father with
+    | None -> [||]
+    | Some fa -> Array.map class_of (Atom.args_a fa)
+  in
+  let m_raw = Array.map class_of (Atom.args_a me) in
+  { f_classes = f_raw; m_classes = m_raw }
+
+(* Encode a database (which must be acyclic) together with a derivation's
+   produced atoms into an abstract join tree: the F-part is a GYO join
+   tree of the database; every produced atom hangs below its guard-parent
+   atom's node.  Lemma 5.9's reading: ∆ of the result decodes back to an
+   isomorphic instance (tested). *)
+let encode tgds ~database derivation =
+  let tgds_arr = Array.of_list tgds in
+  let rule_index tgd =
+    let rec go i = if i >= Array.length tgds_arr then None
+      else if Tgd.equal tgds_arr.(i) tgd then Some i else go (i + 1)
+    in
+    go 0
+  in
+  match Join_tree.gyo database with
+  | None -> Error "database is not acyclic"
+  | Some skeleton ->
+      (* children of each atom contributed by the derivation *)
+      let produced_children : (Atom.t, (Atom.t * int) list) Hashtbl.t = Hashtbl.create 64 in
+      let record_step (s : Chase_engine.Derivation.step) =
+        let tgd = Chase_engine.Trigger.tgd s.Chase_engine.Derivation.trigger in
+        let hom = Chase_engine.Trigger.hom s.Chase_engine.Derivation.trigger in
+        match (Guardedness.guard tgd, rule_index tgd, s.Chase_engine.Derivation.produced) with
+        | Some guard, Some r, [ atom ] ->
+            let gp = Substitution.apply_atom hom guard in
+            let prev = Option.value ~default:[] (Hashtbl.find_opt produced_children gp) in
+            Hashtbl.replace produced_children gp ((atom, r) :: prev);
+            Ok ()
+        | None, _, _ -> Error "unguarded TGD in derivation"
+        | _, None, _ -> Error "derivation uses a TGD outside the given set"
+        | _, _, _ -> Error "multi-head step in derivation"
+      in
+      let rec record = function
+        | [] -> Ok ()
+        | s :: rest -> ( match record_step s with Ok () -> record rest | Error e -> Error e)
+      in
+      (match record (Chase_engine.Derivation.steps derivation) with
+      | Error e -> Error e
+      | Ok () ->
+          (* build generated subtrees below an atom *)
+          let rec generated_below father_atom =
+            Option.value ~default:[] (Hashtbl.find_opt produced_children father_atom)
+            |> List.rev
+            |> List.map (fun (atom, r) ->
+                   {
+                     pr = Atom.pred atom;
+                     org = Rule r;
+                     eq = eq_of_atoms ~father:(Some father_atom) ~me:atom;
+                     children = generated_below atom;
+                   })
+          in
+          let rec of_skeleton father_atom (jt : Join_tree.t) =
+            let atom = jt.Join_tree.atom in
+            {
+              pr = Atom.pred atom;
+              org = F;
+              eq = eq_of_atoms ~father:father_atom ~me:atom;
+              children =
+                List.map (of_skeleton (Some atom)) jt.Join_tree.children
+                @ generated_below atom;
+            }
+          in
+          Ok (of_skeleton None skeleton))
+
+(* --- Chaseability (Def 5.10) on finite trees -------------------------- *)
+
+(* Relations of §5.3 over the decoded nodes. *)
+let is_chaseable tgds root =
+  let tgds_arr = Array.of_list tgds in
+  let nodes, atoms = decode root in
+  let atom_of = Hashtbl.create 64 in
+  List.iter (fun (id, _, a) -> Hashtbl.replace atom_of id a) atoms;
+  let node_of = Hashtbl.create 64 in
+  List.iter (fun (id, _, n) -> Hashtbl.replace node_of id n) nodes;
+  let parent_of = Hashtbl.create 64 in
+  List.iter
+    (fun (id, pid, _) -> match pid with Some p -> Hashtbl.replace parent_of id p | None -> ())
+    nodes;
+  let all_ids = List.map (fun (id, _, _) -> id) nodes in
+  let frontier_terms_of id =
+    let n : node = Hashtbl.find node_of id in
+    match n.org with
+    | F -> None
+    | Rule r ->
+        let tgd = tgds_arr.(r) in
+        let a : Atom.t = Hashtbl.find atom_of id in
+        let fr_pos = Tgd.frontier_positions tgd in
+        Some
+          (List.fold_left
+             (fun acc i -> Term.Set.add (Atom.arg a i) acc)
+             Term.Set.empty fr_pos)
+  in
+  (* ≺p over nodes: the tree edge (guard-parent) plus side-parents — any
+     node whose atom is a π-sideatom of the father's atom, for a side
+     atom of the generating TGD. *)
+  let side_requirements id =
+    let n : node = Hashtbl.find node_of id in
+    match n.org with
+    | F -> []
+    | Rule r ->
+        let tgd = tgds_arr.(r) in
+        let guard = Option.get (Guardedness.guard tgd) in
+        Guardedness.side_atoms tgd
+        |> List.map (fun side -> Sideatom_type.all_of_pair side ~of_:guard)
+  in
+  let before_edges = ref [] in
+  let add_edge a b = before_edges := (a, b) :: !before_edges in
+  let cond2_ok = ref (Ok ()) in
+  List.iter
+    (fun id ->
+      let n : node = Hashtbl.find node_of id in
+      (* database-first edges *)
+      (match n.org with
+      | F ->
+          List.iter
+            (fun id' ->
+              let n' : node = Hashtbl.find node_of id' in
+              if n'.org <> F then add_edge id id')
+            all_ids
+      | Rule _ -> ());
+      (* tree (guard) parent *)
+      (match Hashtbl.find_opt parent_of id with
+      | Some p when (Hashtbl.find node_of id : node).org <> F -> add_edge p id
+      | _ -> ());
+      (* side-parents; also check Def 5.10 (2): each side atom is served *)
+      match Hashtbl.find_opt parent_of id with
+      | None -> ()
+      | Some p ->
+          let father_atom : Atom.t = Hashtbl.find atom_of p in
+          List.iter
+            (fun pis ->
+              (* pis: the admissible sideatom types for one side atom *)
+              let servers =
+                List.filter
+                  (fun z ->
+                    let za : Atom.t = Hashtbl.find atom_of z in
+                    List.exists (fun pi -> Sideatom_type.is_sideatom pi za ~of_:father_atom) pis)
+                  all_ids
+              in
+              match servers with
+              | [] ->
+                  if !cond2_ok = Ok () then
+                    cond2_ok :=
+                      Error
+                        (Printf.sprintf "node %d: a side atom has no side-parent (Def 5.10 (2))"
+                           id)
+              | zs -> List.iter (fun z -> add_edge z id) zs)
+            (side_requirements id))
+    all_ids;
+  (* stop edges: x ≺s y contributes y → x *)
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          if x <> y then
+            match frontier_terms_of y with
+            | None -> ()
+            | Some frontier ->
+                let ax : Atom.t = Hashtbl.find atom_of x in
+                let ay : Atom.t = Hashtbl.find atom_of y in
+                if Chase_engine.Stop.stops ~frontier ~candidate:ax ~result:ay then
+                  add_edge y x)
+        all_ids)
+    all_ids;
+  match !cond2_ok with
+  | Error e -> Error e
+  | Ok () ->
+      (* Def 5.10 (3): ≺b acyclic.  Kahn's algorithm. *)
+      let indeg = Hashtbl.create 64 in
+      let succ = Hashtbl.create 64 in
+      List.iter (fun id -> Hashtbl.replace indeg id 0) all_ids;
+      List.iter
+        (fun (a, b) ->
+          Hashtbl.replace succ a (b :: Option.value ~default:[] (Hashtbl.find_opt succ a));
+          Hashtbl.replace indeg b (1 + Hashtbl.find indeg b))
+        !before_edges;
+      let queue = Queue.create () in
+      List.iter (fun id -> if Hashtbl.find indeg id = 0 then Queue.add id queue) all_ids;
+      let seen = ref 0 in
+      while not (Queue.is_empty queue) do
+        let id = Queue.pop queue in
+        incr seen;
+        List.iter
+          (fun b ->
+            let d = Hashtbl.find indeg b - 1 in
+            Hashtbl.replace indeg b d;
+            if d = 0 then Queue.add b queue)
+          (Option.value ~default:[] (Hashtbl.find_opt succ id))
+      done;
+      if !seen = List.length all_ids then Ok ()
+      else Error "the before relation ≺b has a cycle (Def 5.10 (3))"

@@ -1,0 +1,52 @@
+(** Abstract join trees (paper Def 5.8) and their chaseability (Def 5.10):
+    trees over the finite alphabet Λ_T = sch(T) × ({F} ∪ T) × EQ_T that
+    encode instances; ∆ decodes them back.  The MSOL sentence of §5.3
+    quantifies over exactly these objects; here they are the certificate
+    language of the guarded decider on finite trees. *)
+
+open Chase_core
+open Chase_engine
+
+type origin = F  (** database fact *) | Rule of int  (** index into the TGD list *)
+
+type eq_rel = { f_classes : int array; m_classes : int array }
+(** The label's equivalence relation over {father, me} × positions,
+    jointly canonicalized; the root has an empty f-part. *)
+
+val eq_canonicalize : int array -> int array -> eq_rel
+
+type node = { pr : string; org : origin; eq : eq_rel; children : node list }
+type t = node
+
+val fold : ('a -> node -> 'a) -> 'a -> t -> 'a
+val size : t -> int
+
+(** Check the conditions (1)–(5) of Def 5.8. *)
+val validate : Tgd.t list -> t -> (unit, string) result
+
+(** ∆(T): decode the tree into an instance (fresh constants per
+    equivalence class of the position equalities). *)
+val delta : t -> Instance.t
+
+(** ∆(T|F): the decoded database (the F-labeled fragment). *)
+val delta_f : t -> Instance.t
+
+(** The decoded atoms with their pre-order node ids — the numbering
+    {!Msol_eval.of_abstract_join_tree} uses. *)
+val atoms_with_ids : t -> (int * Atom.t) list
+
+(** Joint canonicalization of a father/me argument pair by term
+    equality. *)
+val eq_of_atoms : father:Atom.t option -> me:Atom.t -> eq_rel
+
+(** Encode an acyclic database plus a guarded derivation's produced atoms
+    as an abstract join tree: the F-part is a GYO join tree of the
+    database, generated atoms hang below their guard-parents.  Lemma 5.9
+    reading: [delta] of the result is isomorphic (up to constant
+    renaming) to the chased instance — tested. *)
+val encode : Tgd.t list -> database:Instance.t -> Derivation.t -> (t, string) result
+
+(** The chaseability conditions of Def 5.10 over the decoded nodes:
+    side-parents exist for every side atom, and the before relation
+    (database-first ∪ parents ∪ stop⁻¹) is acyclic. *)
+val is_chaseable : Tgd.t list -> t -> (unit, string) result

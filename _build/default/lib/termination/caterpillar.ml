@@ -1,0 +1,243 @@
+(* Caterpillars (paper §6.1, Defs 6.2–6.4): "path-like" chase derivations.
+
+   A (proto-)caterpillar consists of legs L (an instance), a body — a
+   sequence of atoms α₀, α₁, … — and, for each i > 0, a trigger (σᵢ, hᵢ)
+   producing αᵢ from L ∪ {αᵢ₋₁}, with a designated body atom γᵢ of σᵢ
+   mapped onto αᵢ₋₁.  A caterpillar additionally requires that no leg
+   stops a body atom and no body atom stops a later one (Def 6.3); it is
+   finitary when L is finite (Def 6.4).
+
+   An infinite caterpillar is not a finite object; this module represents
+   finite *prefixes* (which is what the decision procedure's lasso
+   witnesses unroll to) and validates the definitions on them. *)
+
+open Chase_core
+open Chase_engine
+
+type step = {
+  trigger : Trigger.t;  (* (σᵢ, hᵢ) *)
+  gamma_index : int;  (* index of γᵢ in body(σᵢ) *)
+  atom : Atom.t;  (* αᵢ = result(σᵢ, hᵢ) *)
+  pass_on : int list;  (* 0-based head positions of a newly born relay
+                          term, when this step is a pass-on point *)
+}
+
+type t = { legs : Instance.t; start : Atom.t; steps : step list }
+
+let legs c = c.legs
+let start c = c.start
+let steps c = c.steps
+let length c = List.length c.steps
+
+(* The body B: α₀ followed by the step atoms. *)
+let body c = c.start :: List.map (fun s -> s.atom) c.steps
+
+let ( let* ) r f = Result.bind r f
+
+let error fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let rec check_all f = function
+  | [] -> Ok ()
+  | x :: rest ->
+      let* () = f x in
+      check_all f rest
+
+(* Def 6.2 on the prefix: each step's trigger is a trigger for T on
+   L ∪ {αᵢ₋₁}, γᵢ is mapped onto αᵢ₋₁, and αᵢ is result(σᵢ,hᵢ) up to
+   null naming — i.e. it agrees with h on frontier positions and carries
+   globally fresh, per-variable-consistent terms at existential
+   positions. *)
+let validate_proto tgds c =
+  let tgd_known t = List.exists (fun u -> Tgd.equal u t) tgds in
+  let seen = ref (Term.Set.union (Instance.active_domain c.legs) (Atom.term_set c.start)) in
+  let rec go prev = function
+    | [] -> Ok ()
+    | s :: rest ->
+        let tgd = Trigger.tgd s.trigger in
+        let hom = Trigger.hom s.trigger in
+        let* () = if tgd_known tgd then Ok () else error "unknown TGD %s" (Tgd.name tgd) in
+        let* gamma =
+          match List.nth_opt (Tgd.body tgd) s.gamma_index with
+          | Some g -> Ok g
+          | None -> error "γ index %d out of range in %s" s.gamma_index (Tgd.name tgd)
+        in
+        (* (2): αᵢ₋₁ = hᵢ(γᵢ) *)
+        let* () =
+          if Atom.equal (Substitution.apply_atom hom gamma) prev then Ok ()
+          else error "h(γ) = %s but previous body atom is %s"
+                 (Atom.to_string (Substitution.apply_atom hom gamma))
+                 (Atom.to_string prev)
+        in
+        (* (1): (σᵢ,hᵢ) is a trigger on L ∪ {αᵢ₋₁} *)
+        let scope = Instance.add prev c.legs in
+        let* () =
+          check_all
+            (fun b ->
+              let img = Substitution.apply_atom hom b in
+              if Instance.mem img scope then Ok ()
+              else error "body atom image %s not in legs ∪ {previous}" (Atom.to_string img))
+            (Tgd.body tgd)
+        in
+        (* (3): αᵢ = result(σᵢ,hᵢ) up to null naming *)
+        let head = Tgd.head_atom tgd in
+        let* () =
+          if Atom.arity s.atom = Atom.arity head && String.equal (Atom.pred s.atom) (Atom.pred head)
+          then Ok ()
+          else error "step atom %s does not match head of %s" (Atom.to_string s.atom) (Tgd.name tgd)
+        in
+        let fr = Tgd.frontier tgd in
+        let ex_binding = Hashtbl.create 4 in
+        let rec positions i =
+          if i >= Atom.arity head then Ok ()
+          else
+            let hv = Atom.arg head i and st = Atom.arg s.atom i in
+            if Term.Set.mem hv fr then
+              if Term.equal st (Substitution.apply_term hom hv) then positions (i + 1)
+              else error "frontier mismatch at position %d of %s" i (Atom.to_string s.atom)
+            else begin
+              (* existential position: fresh and per-variable consistent *)
+              match Hashtbl.find_opt ex_binding hv with
+              | Some t ->
+                  if Term.equal t st then positions (i + 1)
+                  else error "inconsistent existential witness at position %d" i
+              | None ->
+                  if Term.Set.mem st !seen then
+                    error "existential witness %s at position %d is not fresh"
+                      (Term.to_string st) i
+                  else begin
+                    Hashtbl.add ex_binding hv st;
+                    positions (i + 1)
+                  end
+            end
+        in
+        let* () = positions 0 in
+        seen := Term.Set.union !seen (Atom.term_set s.atom);
+        go s.atom rest
+  in
+  go c.start c.steps
+
+(* Frontier terms of αᵢ, from its trigger. *)
+let step_frontier s = Trigger.frontier_terms s.trigger
+
+(* Def 6.3 on the prefix: (1) no leg stops a body atom; (2) no body atom
+   stops a later one. *)
+let validate_stops c =
+  let steps = Array.of_list c.steps in
+  let n = Array.length steps in
+  let result = ref (Ok ()) in
+  for j = 0 to n - 1 do
+    if !result = Ok () then begin
+      let s = steps.(j) in
+      let frontier = step_frontier s in
+      (* legs *)
+      Instance.iter
+        (fun leg ->
+          if
+            !result = Ok ()
+            && Stop.stops ~frontier ~candidate:leg ~result:s.atom
+          then result := error "leg %s stops body atom %s" (Atom.to_string leg) (Atom.to_string s.atom))
+        c.legs;
+      (* earlier body atoms, including α₀ *)
+      let check_earlier earlier =
+        if
+          !result = Ok ()
+          && Stop.stops ~frontier ~candidate:earlier ~result:s.atom
+        then
+          result :=
+            error "body atom %s stops later body atom %s" (Atom.to_string earlier)
+              (Atom.to_string s.atom)
+      in
+      check_earlier c.start;
+      for i = 0 to j - 1 do
+        check_earlier steps.(i).atom
+      done
+    end
+  done;
+  !result
+
+(* Connectedness (Def 6.6) on the prefix, relative to the recorded
+   pass-on annotations: at every pass-on step the new relay term is born
+   (fresh) at the annotated positions, and between pass-on points the
+   current relay term keeps occurring in the frontier of every body
+   atom. *)
+let validate_connected c =
+  let steps = Array.of_list c.steps in
+  let n = Array.length steps in
+  (* current relay term, if identified yet *)
+  let rec go j (relay : Term.t option) =
+    if j >= n then Ok ()
+    else
+      let s = steps.(j) in
+      let* relay' =
+        match s.pass_on with
+        | [] -> Ok relay
+        | ps -> (
+            match ps with
+            | p :: _ ->
+                let t = Atom.arg s.atom p in
+                let* () =
+                  check_all
+                    (fun q ->
+                      if Term.equal (Atom.arg s.atom q) t then Ok ()
+                      else error "pass-on positions disagree at step %d" j)
+                    ps
+                in
+                Ok (Some t)
+            | [] -> assert false)
+      in
+      let* () =
+        match relay' with
+        | None -> Ok ()
+        | Some t ->
+            if Atom.mem_term s.atom t || s.pass_on <> [] then Ok ()
+            else error "relay term %s lost at step %d" (Term.to_string t) j
+      in
+      go (j + 1) relay'
+  in
+  go 0 None
+
+(* Full caterpillar-prefix validation. *)
+let validate tgds c =
+  let* () = validate_proto tgds c in
+  let* () = validate_stops c in
+  validate_connected c
+
+(* Pass-on structure (Defs 6.6/6.7): the 1-based step indices of the
+   pass-on points, and the gaps between consecutive ones.  A caterpillar
+   is uniformly connected when the gaps are bounded (Def 6.7) — on a
+   lasso-unrolled prefix the cycle length is such a bound. *)
+let pass_on_points c =
+  List.mapi (fun i s -> (i + 1, s)) c.steps
+  |> List.filter_map (fun (i, s) -> if s.pass_on <> [] then Some i else None)
+
+let pass_on_gaps c =
+  let rec gaps = function
+    | a :: (b :: _ as rest) -> (b - a) :: gaps rest
+    | _ -> []
+  in
+  gaps (pass_on_points c)
+
+let is_uniformly_connected ~bound c =
+  List.for_all (fun g -> g <= bound) (pass_on_gaps c)
+
+(* The chase-derivation reading: a caterpillar prefix is a restricted
+   chase derivation of L ∪ {α₀} w.r.t. T (modulo activeness of each
+   trigger, which [validate_stops] certifies via Fact 3.5 for the body;
+   legs are covered by Def 6.3 (1)). *)
+let to_instance c =
+  List.fold_left (fun i a -> Instance.add a i) (Instance.add c.start c.legs)
+    (List.map (fun s -> s.atom) c.steps)
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>legs: %a@,body: %s" Instance.pp c.legs (Atom.to_string c.start);
+  List.iteri
+    (fun i s ->
+      Format.fprintf ppf "@,  %2d. --%s/γ%d--> %s%s" (i + 1)
+        (Tgd.name (Trigger.tgd s.trigger))
+        s.gamma_index (Atom.to_string s.atom)
+        (if s.pass_on = [] then ""
+         else
+           Printf.sprintf "  [pass-on at %s]"
+             (String.concat "," (List.map string_of_int s.pass_on))))
+    c.steps;
+  Format.fprintf ppf "@]"

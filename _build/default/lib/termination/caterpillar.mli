@@ -1,0 +1,53 @@
+(** Caterpillars (paper §6.1, Defs 6.2–6.4): "path-like" chase
+    derivations.  This module represents finite {e prefixes} — which is
+    what the decision procedure's lasso witnesses unroll to — and
+    validates the paper's conditions on them. *)
+
+open Chase_core
+open Chase_engine
+
+type step = {
+  trigger : Trigger.t;  (** (σᵢ, hᵢ) *)
+  gamma_index : int;  (** index of γᵢ in body(σᵢ) *)
+  atom : Atom.t;  (** αᵢ = result(σᵢ, hᵢ) *)
+  pass_on : int list;
+      (** 0-based head positions of a newly born relay term, when this
+          step is a pass-on point of the connectedness structure *)
+}
+
+type t = { legs : Instance.t; start : Atom.t; steps : step list }
+
+val legs : t -> Instance.t
+val start : t -> Atom.t
+val steps : t -> step list
+val length : t -> int
+
+(** The body B: α₀ followed by the step atoms. *)
+val body : t -> Atom.t list
+
+(** Def 6.2 conditions on the prefix. *)
+val validate_proto : Tgd.t list -> t -> (unit, string) result
+
+(** Def 6.3 conditions on the prefix: no leg stops a body atom, no body
+    atom stops a later one. *)
+val validate_stops : t -> (unit, string) result
+
+(** Connectedness (Def 6.6) relative to the recorded pass-on points. *)
+val validate_connected : t -> (unit, string) result
+
+(** All of the above. *)
+val validate : Tgd.t list -> t -> (unit, string) result
+
+(** 1-based step indices of the pass-on points. *)
+val pass_on_points : t -> int list
+
+(** Gaps between consecutive pass-on points. *)
+val pass_on_gaps : t -> int list
+
+(** Uniform connectedness (Def 6.7): all gaps ≤ bound. *)
+val is_uniformly_connected : bound:int -> t -> bool
+
+(** L ∪ B as an instance. *)
+val to_instance : t -> Instance.t
+
+val pp : Format.formatter -> t -> unit

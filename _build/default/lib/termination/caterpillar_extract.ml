@@ -1,0 +1,344 @@
+(* Extracting a free connected caterpillar from an infinite restricted
+   chase derivation (paper §6.2, Lemmas 6.9–6.11) — the (1)⇒(2) direction
+   of Theorem 6.5, executably, on finite derivation prefixes.
+
+   Step 1 (♣): rank the terms of the derivation by the parent-term
+   relation ≺tp (c ≺tp c' when c occurs in the frontier of c''s birth
+   atom), pick favourite parents, and follow a longest chain of relay
+   terms c₀ ≺tfp c₁ ≺tfp …; thread the birth atoms together along ≺p
+   into a "path-like" proto-caterpillar whose other body images become
+   legs.
+
+   Step 2 (♠): drop the prefix of the chain whose relay terms touch an
+   immortal position (w.r.t. the stickiness marking), so that the
+   connectedness condition (4) of Def 6.6 can hold.
+
+   Step 3 (♥): make the caterpillar free by renaming every term
+   occurrence to its ≃*-equivalence class — positions are provably equal
+   only through the variable sharing of the triggers used.  Stickiness
+   guarantees this renaming is consistent on triggers: a body variable
+   repeated across atoms must be unmarked, hence reach the head, hence
+   its occurrences are ≃*-related through the result.
+
+   The output is validated by {!Caterpillar.validate}; extraction is
+   meaningful only for sticky sets (enforced). *)
+
+open Chase_core
+open Chase_engine
+
+let ( let* ) = Result.bind
+
+type step_data = {
+  s_atom : Atom.t;
+  s_trigger : Trigger.t;
+  s_frontier : Term.Set.t;
+  s_index : int;
+}
+
+let collect_steps derivation =
+  let tbl : (Atom.t, step_data) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun i (s : Derivation.step) ->
+      match s.Derivation.produced with
+      | [ a ] ->
+          if not (Hashtbl.mem tbl a) then
+            Hashtbl.add tbl a
+              { s_atom = a; s_trigger = s.Derivation.trigger; s_frontier = s.Derivation.frontier;
+                s_index = i }
+      | _ -> invalid_arg "Caterpillar_extract: single-head derivations only")
+    (Derivation.steps derivation);
+  tbl
+
+(* Birth atoms and parent terms of the nulls invented by the prefix. *)
+let birth_info steps_by_atom =
+  let birth : (Term.t, step_data) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun atom (sd : step_data) ->
+      let fresh =
+        Term.Set.diff (Atom.term_set atom) sd.s_frontier |> Term.Set.filter Term.is_null
+      in
+      Term.Set.iter
+        (fun z -> if not (Hashtbl.mem birth z) then Hashtbl.add birth z sd)
+        fresh)
+    steps_by_atom;
+  birth
+
+(* ≺tfp: ranks and favourite parents over the terms of the prefix. *)
+let favourite_parents birth =
+  let rank : (Term.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let fp : (Term.t, Term.t) Hashtbl.t = Hashtbl.create 64 in
+  let rec rank_of t =
+    match Hashtbl.find_opt rank t with
+    | Some r -> r
+    | None -> (
+        match Hashtbl.find_opt birth t with
+        | None ->
+            Hashtbl.replace rank t 0;
+            0
+        | Some sd ->
+            let parents = Term.Set.elements sd.s_frontier in
+            let r =
+              1 + List.fold_left (fun acc p -> max acc (rank_of p)) (-1) parents
+            in
+            let r = max r 1 in
+            Hashtbl.replace rank t r;
+            (* favourite: the least parent of rank r - 1 *)
+            (match
+               List.filter (fun p -> rank_of p = r - 1) parents |> List.sort Term.compare
+             with
+            | p :: _ -> Hashtbl.replace fp t p
+            | [] -> ());
+            r)
+  in
+  Hashtbl.iter (fun t _ -> ignore (rank_of t)) birth;
+  (rank, fp)
+
+(* The longest ≺tfp chain, oldest first. *)
+let longest_chain fp =
+  let children : (Term.t, Term.t list) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun child parent ->
+      Hashtbl.replace children parent
+        (child :: Option.value ~default:[] (Hashtbl.find_opt children parent)))
+    fp;
+  let depth_memo : (Term.t, int * Term.t list) Hashtbl.t = Hashtbl.create 64 in
+  let rec best t =
+    match Hashtbl.find_opt depth_memo t with
+    | Some r -> r
+    | None ->
+        let kids = Option.value ~default:[] (Hashtbl.find_opt children t) in
+        let r =
+          List.fold_left
+            (fun (bd, bp) k ->
+              let d, p = best k in
+              if d + 1 > bd then (d + 1, k :: p) else (bd, bp))
+            (0, []) kids
+        in
+        Hashtbl.replace depth_memo t r;
+        r
+  in
+  (* roots: terms that are parents but not children *)
+  let roots =
+    Hashtbl.fold
+      (fun _ parent acc -> if Hashtbl.mem fp parent then acc else parent :: acc)
+      fp []
+    |> List.sort_uniq Term.compare
+  in
+  List.fold_left
+    (fun (bd, bp) r ->
+      let d, p = best r in
+      if d + 1 > bd then (d + 1, r :: p) else (bd, bp))
+    (0, []) roots
+  |> snd
+
+(* Walk from the birth atom of [next_relay] back to [target], following
+   parents that carry [relay]; returns the forward list of
+   (atom, step, gamma index) hops after [target]. *)
+let thread steps_by_atom ~target ~relay ~from =
+  let rec back cur acc =
+    if Atom.equal cur target then Ok acc
+    else
+      match Hashtbl.find_opt steps_by_atom cur with
+      | None -> Error (Printf.sprintf "atom %s has no producing step" (Atom.to_string cur))
+      | Some sd -> (
+          let tgd = Trigger.tgd sd.s_trigger in
+          let hom = Trigger.hom sd.s_trigger in
+          let body = Tgd.body tgd in
+          let images = List.mapi (fun i b -> (i, Substitution.apply_atom hom b)) body in
+          match
+            List.find_opt (fun (_, img) -> Atom.mem_term img relay) images
+          with
+          | None ->
+              Error
+                (Printf.sprintf "no parent of %s carries the relay term %s"
+                   (Atom.to_string cur) (Term.to_string relay))
+          | Some (gi, parent) -> back parent ((parent, cur, sd, gi) :: acc))
+  in
+  back from []
+
+(* The ≃* relation over (atom, position) pairs of the body-and-leg atoms,
+   generated by the variable sharing of the used triggers. *)
+module Pos = struct
+  type t = Atom.t * int
+
+  let compare (a, i) (b, j) =
+    let c = Atom.compare a b in
+    if c <> 0 then c else Int.compare i j
+end
+
+module PosMap = Map.Make (Pos)
+
+let freeness_classes used_steps =
+  let parent = ref PosMap.empty in
+  let rec find x =
+    match PosMap.find_opt x !parent with
+    | None -> x
+    | Some p ->
+        let r = find p in
+        parent := PosMap.add x r !parent;
+        r
+  in
+  let union x y =
+    let rx = find x and ry = find y in
+    if Pos.compare rx ry <> 0 then parent := PosMap.add rx ry !parent
+  in
+  List.iter
+    (fun (sd : step_data) ->
+      let tgd = Trigger.tgd sd.s_trigger in
+      let hom = Trigger.hom sd.s_trigger in
+      let head = Tgd.head_atom tgd in
+      let rho = sd.s_atom in
+      (* body-to-head via shared variables *)
+      List.iter
+        (fun gamma ->
+          let img = Substitution.apply_atom hom gamma in
+          Array.iteri
+            (fun i v ->
+              List.iter (fun j -> union (img, i) (rho, j)) (Atom.positions_of head v))
+            (Atom.args_a gamma))
+        (Tgd.body tgd);
+      (* within the head *)
+      Array.iteri
+        (fun i v ->
+          List.iter (fun j -> if j <> i then union (rho, i) (rho, j)) (Atom.positions_of head v))
+        (Atom.args_a head))
+    used_steps;
+  find
+
+let extract ?(min_chain = 2) tgds derivation =
+  if not (Chase_classes.Stickiness.is_sticky tgds) then
+    invalid_arg "Caterpillar_extract: sticky TGDs required";
+  let marking = Chase_classes.Stickiness.marking tgds in
+  let tgd_index tgd =
+    let rec go i = function
+      | [] -> None
+      | t :: rest -> if Tgd.equal t tgd then Some i else go (i + 1) rest
+    in
+    go 0 tgds
+  in
+  let steps_by_atom = collect_steps derivation in
+  let birth = birth_info steps_by_atom in
+  let _, fp = favourite_parents birth in
+  let chain = longest_chain fp in
+  (* Step 2: keep only relay terms that never sit at an immortal position
+     in any produced atom of the prefix. *)
+  let occurs_immortal c =
+    Hashtbl.fold
+      (fun atom (sd : step_data) acc ->
+        acc
+        ||
+        match tgd_index (Trigger.tgd sd.s_trigger) with
+        | None -> false
+        | Some ti ->
+            let imm = Chase_classes.Stickiness.immortal_positions marking ti in
+            List.exists (fun p -> imm.(p)) (Atom.positions_of atom c))
+      steps_by_atom false
+  in
+  let chain =
+    let rec drop = function
+      | c :: rest when Term.is_const c || occurs_immortal c -> drop rest
+      | l -> l
+    in
+    drop chain
+  in
+  if List.length chain < min_chain + 1 then
+    Error
+      (Printf.sprintf "relay chain too short (%d mortal relay terms; need > %d)"
+         (List.length chain) min_chain)
+  else begin
+    let relays = Array.of_list chain in
+    let birth_atom c = (Hashtbl.find birth c).s_atom in
+    (* Step 1: thread the birth atoms together. *)
+    let rec build k acc =
+      if k + 1 >= Array.length relays then Ok (List.concat (List.rev acc))
+      else
+        let target = birth_atom relays.(k) in
+        let from = birth_atom relays.(k + 1) in
+        let* hops = thread steps_by_atom ~target ~relay:relays.(k) ~from in
+        (* annotate the final hop (the birth of the next relay term) *)
+        let hops =
+          List.map
+            (fun (parent, cur, sd, gi) ->
+              let pass =
+                if Atom.equal cur from then Atom.positions_of cur relays.(k + 1) else []
+              in
+              (parent, cur, sd, gi, pass))
+            hops
+        in
+        build (k + 1) (hops :: acc)
+    in
+    let* hops = build 0 [] in
+    let start = birth_atom relays.(0) in
+    let used_steps = List.map (fun (_, _, sd, _, _) -> sd) hops in
+    (* Legs: the body images other than the designated previous atom. *)
+    let legs_of (sd : step_data) gi =
+      let tgd = Trigger.tgd sd.s_trigger in
+      let hom = Trigger.hom sd.s_trigger in
+      List.mapi (fun i b -> (i, Substitution.apply_atom hom b)) (Tgd.body tgd)
+      |> List.filter_map (fun (i, img) -> if i <> gi then Some img else None)
+    in
+    (* Step 3: the freeness renaming. *)
+    let find = freeness_classes used_steps in
+    let class_ids : (Atom.t * int, Term.t) Hashtbl.t = Hashtbl.create 64 in
+    let counter = ref 0 in
+    let class_term pos =
+      let root = find pos in
+      match Hashtbl.find_opt class_ids root with
+      | Some t -> t
+      | None ->
+          let t = Term.Null (Printf.sprintf "f%d" !counter) in
+          incr counter;
+          Hashtbl.add class_ids root t;
+          t
+    in
+    let rename_atom a =
+      Atom.make_a (Atom.pred a) (Array.init (Atom.arity a) (fun i -> class_term (a, i)))
+    in
+    (* a trigger homomorphism consistent with the renaming: each body
+       variable takes the class of (one of) its occurrences — stickiness
+       makes the choice irrelevant *)
+    let rename_trigger (sd : step_data) =
+      let tgd = Trigger.tgd sd.s_trigger in
+      let hom = Trigger.hom sd.s_trigger in
+      let h' = ref Substitution.empty in
+      List.iter
+        (fun gamma ->
+          let img = Substitution.apply_atom hom gamma in
+          Array.iteri
+            (fun i v ->
+              match v with
+              | Term.Var _ ->
+                  if not (Substitution.mem v !h') then
+                    h' := Substitution.bind v (class_term (img, i)) !h'
+              | Term.Const _ | Term.Null _ -> ())
+            (Atom.args_a gamma))
+        (Tgd.body tgd);
+      Trigger.make tgd !h'
+    in
+    let steps =
+      List.map
+        (fun (_, cur, sd, gi, pass) ->
+          {
+            Caterpillar.trigger = rename_trigger sd;
+            gamma_index = gi;
+            atom = rename_atom cur;
+            pass_on = pass;
+          })
+        hops
+    in
+    let legs =
+      List.fold_left
+        (fun acc (_, _, sd, gi, _) ->
+          List.fold_left (fun acc l -> Instance.add (rename_atom l) acc) acc (legs_of sd gi))
+        Instance.empty hops
+    in
+    (* legs must not duplicate body atoms *)
+    let body_atoms =
+      Instance.of_list (rename_atom start :: List.map (fun s -> s.Caterpillar.atom) steps)
+    in
+    let legs = Instance.diff legs body_atoms in
+    let cat = { Caterpillar.legs; start = rename_atom start; steps } in
+    match Caterpillar.validate tgds cat with
+    | Ok () -> Ok cat
+    | Error e -> Error ("extracted caterpillar invalid: " ^ e)
+  end

@@ -1,0 +1,17 @@
+(** Extracting a free connected caterpillar from a diverging restricted
+    chase derivation prefix — the (1)⇒(2) direction of Theorem 6.5,
+    following the three-step construction of §6.2 (Lemmas 6.9–6.11):
+    relay-term chain by ranks and favourite parents (Step 1/♣), dropping
+    immortal-touching relay terms (Step 2/♠), and the ≃*-class freeness
+    renaming (Step 3/♥), whose consistency on triggers is exactly what
+    stickiness guarantees.  The result is validated by
+    {!Caterpillar.validate} before being returned. *)
+
+open Chase_core
+open Chase_engine
+
+(** [extract tgds derivation] builds a validated free connected
+    caterpillar prefix, or explains why none was found (e.g. the relay
+    chain of the prefix is shorter than [min_chain]).
+    @raise Invalid_argument on non-sticky or multi-head TGDs. *)
+val extract : ?min_chain:int -> Tgd.t list -> Derivation.t -> (Caterpillar.t, string) result

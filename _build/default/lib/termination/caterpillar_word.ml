@@ -1,0 +1,107 @@
+(* Caterpillar words (paper Def D.2): the symbolic face of caterpillars.
+
+   A free connected caterpillar is fully described by the equality type
+   of its first body atom and an infinite sequence of letters (σ, γ, P)
+   of Λ_T; the automaton A_T runs on exactly these words.  This module
+   converts between the two representations on finite prefixes —
+   encoding a concrete caterpillar into its word, and checking that the
+   automaton's symbolic run agrees with the concrete atoms step by step
+   (the equality type tracked by A_pc must be the equality type of the
+   actual body atom).  Decoding (word → concrete caterpillar) lives in
+   {!Sticky_decider.unroll}. *)
+
+open Chase_core
+open Chase_engine
+
+type t = Sticky_automaton.letter list
+
+let ( let* ) = Result.bind
+let error fmt = Format.kasprintf (fun s -> Error s) fmt
+
+(* The word of a caterpillar prefix, given the ambient TGD list. *)
+let encode tgds (cat : Caterpillar.t) =
+  let tgd_index tgd =
+    let rec go i = function
+      | [] -> None
+      | t :: rest -> if Tgd.equal t tgd then Some i else go (i + 1) rest
+    in
+    go 0 tgds
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (s : Caterpillar.step) :: rest -> (
+        match tgd_index (Trigger.tgd s.Caterpillar.trigger) with
+        | None -> error "step uses a TGD outside the given set"
+        | Some ti ->
+            go
+              ({
+                 Sticky_automaton.tgd_index = ti;
+                 gamma_index = s.Caterpillar.gamma_index;
+                 pass_on = s.Caterpillar.pass_on;
+               }
+              :: acc)
+              rest)
+  in
+  go [] (Caterpillar.steps cat)
+
+(* The start pair of a caterpillar: the equality type of α₀ and the class
+   of the first relay term — taken from the first pass-on step's γ, or
+   simply class 0 when unavailable. *)
+let start_pair (cat : Caterpillar.t) =
+  let e0 = Equality_type.of_atom (Caterpillar.start cat) in
+  (* the relay term of the start atom: the term that the first step's γ
+     carries into the chain; the decoder uses class 0 by convention, and
+     any class whose term survives the first step works.  We pick the
+     class of the first position that the first step's γ shares with its
+     head, falling back to 0. *)
+  let cls =
+    match Caterpillar.steps cat with
+    | [] -> 0
+    | s :: _ -> (
+        let tgd = Trigger.tgd s.Caterpillar.trigger in
+        let gamma = List.nth (Tgd.body tgd) s.Caterpillar.gamma_index in
+        let head = Tgd.head_atom tgd in
+        let surviving =
+          List.init (Atom.arity gamma) Fun.id
+          |> List.find_opt (fun i ->
+                 match Atom.arg gamma i with
+                 | Term.Var v -> Atom.mem_term head (Term.Var v)
+                 | _ -> false)
+        in
+        match surviving with Some i -> Equality_type.class_of e0 i | None -> 0)
+  in
+  (e0, cls)
+
+(* Step-by-step agreement between the symbolic run and the concrete
+   atoms: after each letter, the A_pc component of the automaton state
+   must be the equality type of the concrete body atom.  This ties the
+   App. D.2 automaton to the §6.1 objects. *)
+let check_against_automaton ?start ctx (cat : Caterpillar.t) =
+  let* word = encode (Array.to_list ctx.Sticky_automaton.tgds) cat in
+  let e0, cls = match start with Some p -> p | None -> start_pair cat in
+  let rec go state letters (steps : Caterpillar.step list) k =
+    match (letters, steps) with
+    | [], [] -> Ok ()
+    | letter :: lrest, step :: srest -> (
+        match Sticky_automaton.next ctx state letter with
+        | None ->
+            error "the automaton rejects at step %d while the concrete caterpillar continues"
+              (k + 1)
+        | Some state' ->
+            let symbolic = state'.Sticky_automaton.et in
+            let concrete = Equality_type.of_atom step.Caterpillar.atom in
+            if Equality_type.equal symbolic concrete then go state' lrest srest (k + 1)
+            else
+              error "equality-type mismatch at step %d: symbolic %s vs concrete %s" (k + 1)
+                (Equality_type.to_string symbolic)
+                (Equality_type.to_string concrete))
+    | _ -> error "internal: word and steps have different lengths"
+  in
+  let positions =
+    List.init (Equality_type.arity e0) Fun.id
+    |> List.filter (fun i -> Equality_type.class_of e0 i = cls)
+  in
+  let initial =
+    { Sticky_automaton.et = e0; theta = []; pi1 = positions; pi2 = []; pass = false }
+  in
+  go initial word (Caterpillar.steps cat) 0

@@ -1,0 +1,23 @@
+(** Caterpillar words (paper Def D.2): the symbolic face of caterpillars,
+    and the step-by-step agreement between the App. D.2 automaton and the
+    §6.1 concrete objects.  Decoding (word → caterpillar) lives in
+    {!Sticky_decider.unroll}. *)
+
+open Chase_core
+
+type t = Sticky_automaton.letter list
+
+(** The word of a caterpillar prefix. *)
+val encode : Tgd.t list -> Caterpillar.t -> (t, string) result
+
+(** A plausible start pair (e₀, Π₀-class) of a caterpillar prefix. *)
+val start_pair : Caterpillar.t -> Equality_type.t * int
+
+(** Run A_T symbolically alongside the concrete caterpillar: after every
+    letter, A_pc's tracked equality type must equal the equality type of
+    the concrete body atom. *)
+val check_against_automaton :
+  ?start:Equality_type.t * int ->
+  Sticky_automaton.context ->
+  Caterpillar.t ->
+  (unit, string) result

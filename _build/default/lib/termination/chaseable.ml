@@ -1,0 +1,172 @@
+(* Chaseable sets (paper Def 5.2, Theorem 5.3).
+
+   A subset A of ochase(D,T) is chaseable when (1) every atom has only
+   finitely many ≺b-predecessors, (2) A is parent-closed, and (3) the
+   before relation ≺b is acyclic on A, where
+
+     ≺b = { (α,β) : α ∈ D, β ∉ D } ∪ ≺p ∪ ≺s⁻¹.
+
+   Theorem 5.3: an infinite chaseable subset exists iff an infinite
+   restricted chase derivation of D w.r.t. T exists.  We work on the
+   finite fragments materialized by {!Chase_engine.Real_oblivious}; on a
+   finite A, condition (1) is automatic, and the theorem's (2)⇒(1)
+   construction turns a chaseable A into a valid restricted chase
+   derivation prefix that generates exactly A's non-database atoms. *)
+
+open Chase_core
+open Chase_engine
+
+module IntSet = Set.Make (Int)
+
+type before_edge = Database_first | Parent | Stop_inverse
+
+(* All ≺b edges between members of [nodes] (node ids of the graph). *)
+let before_edges graph nodes =
+  let is_db id = (Real_oblivious.node graph id).Real_oblivious.origin = None in
+  let edges = ref [] in
+  let add a kind b = edges := (a, kind, b) :: !edges in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a <> b then begin
+            (* database atoms come first *)
+            if is_db a && not (is_db b) then add a Database_first b;
+            (* parents before children *)
+            if List.exists (Int.equal a) (Real_oblivious.parents graph b) then add a Parent b;
+            (* if a stops b (a ≺s b) then b must be generated before a *)
+            if Real_oblivious.node_stops graph ~stopper:a ~stopped:b then add b Stop_inverse a
+          end)
+        nodes)
+    nodes;
+  !edges
+
+(* Condition (2): parents of members are members. *)
+let parent_closed graph nodes =
+  let member = IntSet.of_list nodes in
+  List.for_all
+    (fun id -> List.for_all (fun p -> IntSet.mem p member) (Real_oblivious.parents graph id))
+    nodes
+
+(* Condition (3): ≺b acyclic on the set.  Returns a topological order
+   when acyclic. *)
+let topological_order graph nodes =
+  let edges = before_edges graph nodes in
+  let succ : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let indeg : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace indeg id 0) nodes;
+  List.iter
+    (fun (a, _, b) ->
+      Hashtbl.replace succ a (b :: Option.value ~default:[] (Hashtbl.find_opt succ a));
+      Hashtbl.replace indeg b (1 + Option.value ~default:0 (Hashtbl.find_opt indeg b)))
+    edges;
+  let queue = Queue.create () in
+  List.iter (fun id -> if Hashtbl.find indeg id = 0 then Queue.add id queue) nodes;
+  let order = ref [] in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    order := id :: !order;
+    List.iter
+      (fun b ->
+        let d = Hashtbl.find indeg b - 1 in
+        Hashtbl.replace indeg b d;
+        if d = 0 then Queue.add b queue)
+      (Option.value ~default:[] (Hashtbl.find_opt succ id))
+  done;
+  if List.length !order = List.length nodes then Some (List.rev !order) else None
+
+let is_chaseable graph nodes =
+  parent_closed graph nodes && Option.is_some (topological_order graph nodes)
+
+(* Theorem 5.3, (2)⇒(1) on a finite fragment: generate the non-database
+   atoms of a chaseable set in ≺b-topological order; every trigger must be
+   active when applied (which the acyclicity of ≺b guarantees, via
+   Fact 3.5 — checked here rather than assumed). *)
+let to_derivation graph nodes =
+  match topological_order graph nodes with
+  | None -> Error "the before relation has a cycle"
+  | Some order ->
+      if not (parent_closed graph nodes) then Error "the set is not parent-closed"
+      else begin
+        let database =
+          List.fold_left
+            (fun i id ->
+              let n = Real_oblivious.node graph id in
+              match n.Real_oblivious.origin with
+              | None -> Instance.add n.Real_oblivious.atom i
+              | Some _ -> i)
+            Instance.empty nodes
+        in
+        let rec go instance steps index = function
+          | [] ->
+              Ok
+                (Derivation.make ~database ~steps:(List.rev steps)
+                   ~status:Derivation.Out_of_budget)
+          | id :: rest -> (
+              let n = Real_oblivious.node graph id in
+              match n.Real_oblivious.origin with
+              | None -> go instance steps index rest
+              | Some trigger ->
+                  if Instance.mem n.Real_oblivious.atom instance then
+                    (* a copy of this atom is already there: two copies
+                       stop each other, so chaseability rules this out *)
+                    Error
+                      (Printf.sprintf "duplicate atom %s in chaseable set"
+                         (Atom.to_string n.Real_oblivious.atom))
+                  else if not (Trigger.is_active instance trigger) then
+                    Error
+                      (Printf.sprintf "trigger for %s not active at its turn"
+                         (Atom.to_string n.Real_oblivious.atom))
+                  else
+                    let after = Instance.add n.Real_oblivious.atom instance in
+                    let step =
+                      {
+                        Derivation.index;
+                        trigger;
+                        produced = [ n.Real_oblivious.atom ];
+                        frontier = Trigger.frontier_terms trigger;
+                        after;
+                      }
+                    in
+                    go after (step :: steps) (index + 1) rest)
+        in
+        go database [] 0 order
+      end
+
+(* Theorem 5.3, (1)⇒(2) on a finite prefix: map each derivation step to a
+   node of ochase(D,T) with the same trigger, preferring nodes whose
+   parents were already selected; include the database nodes.  Returns
+   the chosen node set (which [is_chaseable] should accept — tested). *)
+let of_derivation graph derivation =
+  let chosen = ref IntSet.empty in
+  (* database nodes *)
+  Array.iter
+    (fun n ->
+      if n.Real_oblivious.origin = None then chosen := IntSet.add n.Real_oblivious.id !chosen)
+    (Real_oblivious.nodes graph);
+  let find_node trigger =
+    let candidates =
+      Array.to_list (Real_oblivious.nodes graph)
+      |> List.filter (fun n ->
+             match n.Real_oblivious.origin with
+             | Some t -> Trigger.equal t trigger
+             | None -> false)
+    in
+    (* prefer a copy whose parents are already chosen *)
+    match
+      List.find_opt
+        (fun n ->
+          List.for_all (fun p -> IntSet.mem p !chosen) (Real_oblivious.parents graph n.Real_oblivious.id))
+        candidates
+    with
+    | Some n -> Some n
+    | None -> (match candidates with n :: _ -> Some n | [] -> None)
+  in
+  let ok = ref true in
+  List.iter
+    (fun (s : Derivation.step) ->
+      match find_node s.Derivation.trigger with
+      | Some n -> chosen := IntSet.add n.Real_oblivious.id !chosen
+      | None -> ok := false)
+    (Derivation.steps derivation);
+  if !ok then Some (IntSet.elements !chosen) else None

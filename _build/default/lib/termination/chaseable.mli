@@ -1,0 +1,29 @@
+(** Chaseable sets (paper Def 5.2, Theorem 5.3) over finite fragments of
+    the real oblivious chase. *)
+
+open Chase_engine
+
+type before_edge = Database_first | Parent | Stop_inverse
+
+(** All ≺b edges among the given node ids:
+    [≺b = {(α,β) : α ∈ D, β ∉ D} ∪ ≺p ∪ ≺s⁻¹]. *)
+val before_edges : Real_oblivious.t -> int list -> (int * before_edge * int) list
+
+(** Def 5.2 condition (2). *)
+val parent_closed : Real_oblivious.t -> int list -> bool
+
+(** A ≺b-topological order of the set, or [None] on a cycle
+    (condition (3)). *)
+val topological_order : Real_oblivious.t -> int list -> int list option
+
+(** Conditions (2) and (3); (1) is automatic on finite sets. *)
+val is_chaseable : Real_oblivious.t -> int list -> bool
+
+(** Theorem 5.3 (2)⇒(1) on a finite fragment: produce a valid restricted
+    chase derivation prefix generating the set's non-database atoms.
+    Every trigger's activeness is checked, not assumed. *)
+val to_derivation : Real_oblivious.t -> int list -> (Derivation.t, string) result
+
+(** Theorem 5.3 (1)⇒(2): select nodes of ochase(D,T) realizing a
+    derivation (which must have been run with canonical null naming). *)
+val of_derivation : Real_oblivious.t -> Derivation.t -> int list option

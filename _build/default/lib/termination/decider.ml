@@ -1,0 +1,86 @@
+(* The facade: decide CTres∀∀ for a TGD set by dispatching on its class.
+
+     sticky  → the Büchi-automaton procedure (sound and complete, §6);
+     guarded → weak acyclicity + certificate search (§5; see DESIGN.md
+               for the substitution of the MSOL step);
+     else    → weak acyclicity only (sound for "terminating").        *)
+
+open Chase_core
+open Chase_classes
+
+type answer =
+  | Terminating  (* T ∈ CTres∀∀ *)
+  | Non_terminating  (* some database admits an infinite derivation *)
+  | Unknown
+
+type method_used =
+  | Sticky_buchi  (* Theorem 6.1 *)
+  | Guarded_search  (* Theorem 5.1 machinery, certificate search *)
+  | Weak_acyclicity_check  (* baseline sufficient condition *)
+
+type report = {
+  classification : Classification.report;
+  answer : answer;
+  method_used : method_used;
+  detail : string;
+}
+
+let decide ?(sticky_max_states = 50_000) ?(guarded_max_depth = 200) tgds =
+  let classification = Classification.classify tgds in
+  if classification.Classification.single_head && classification.Classification.sticky then
+    let verdict = Sticky_decider.decide ~max_states:sticky_max_states tgds in
+    let answer, detail =
+      match verdict with
+      | Sticky_decider.All_terminating -> (Terminating, "L(A_T) = ∅")
+      | Sticky_decider.Non_terminating cert ->
+          ( Non_terminating,
+            Printf.sprintf "caterpillar lasso found (prefix %d, cycle %d)"
+              (List.length cert.Sticky_decider.lasso.Chase_automata.Buchi.prefix)
+              (List.length cert.Sticky_decider.lasso.Chase_automata.Buchi.cycle) )
+      | Sticky_decider.Inconclusive m -> (Unknown, m)
+    in
+    { classification; answer; method_used = Sticky_buchi; detail }
+  else if classification.Classification.single_head && classification.Classification.guarded
+  then
+    let verdict = Guarded_decider.decide ~max_depth:guarded_max_depth tgds in
+    let answer, detail =
+      match verdict with
+      | Guarded_decider.Terminating Guarded_decider.Weakly_acyclic ->
+          (Terminating, "weakly acyclic")
+      | Guarded_decider.Terminating Guarded_decider.Jointly_acyclic ->
+          (Terminating, "jointly acyclic")
+      | Guarded_decider.Terminating Guarded_decider.Model_faithful_acyclic ->
+          (Terminating, "model-faithful acyclic (MFA)")
+      | Guarded_decider.Non_terminating ev ->
+          ( Non_terminating,
+            Printf.sprintf "diverging database found (%d atoms, acyclic: %b, chaseable AJT: %b)"
+              (Instance.cardinal ev.Guarded_decider.database)
+              ev.Guarded_decider.acyclic ev.Guarded_decider.chaseable )
+      | Guarded_decider.No_divergence_found r ->
+          ( Unknown,
+            Printf.sprintf "no divergence among %d candidate databases"
+              r.Guarded_decider.candidates )
+    in
+    { classification; answer; method_used = Guarded_search; detail }
+  else
+    let wa = classification.Classification.weakly_acyclic in
+    {
+      classification;
+      answer = (if wa then Terminating else Unknown);
+      method_used = Weak_acyclicity_check;
+      detail = (if wa then "weakly acyclic" else "outside the decidable classes implemented");
+    }
+
+let pp_answer ppf = function
+  | Terminating -> Format.pp_print_string ppf "terminating (T ∈ CTres∀∀)"
+  | Non_terminating -> Format.pp_print_string ppf "non-terminating"
+  | Unknown -> Format.pp_print_string ppf "unknown"
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%a@,answer: %a (%s)@,detail: %s@]" Classification.pp
+    r.classification pp_answer r.answer
+    (match r.method_used with
+    | Sticky_buchi -> "sticky Büchi automaton"
+    | Guarded_search -> "guarded certificate search"
+    | Weak_acyclicity_check -> "weak acyclicity")
+    r.detail

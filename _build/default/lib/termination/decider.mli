@@ -1,0 +1,24 @@
+(** The facade decider for CTres∀∀, dispatching on the class of the input
+    TGD set: the sticky Büchi procedure (§6, sound and complete), the
+    guarded certificate search (§5, see DESIGN.md), or plain weak
+    acyclicity for everything else. *)
+
+open Chase_classes
+
+type answer =
+  | Terminating  (** T ∈ CTres∀∀ *)
+  | Non_terminating  (** some database admits an infinite valid derivation *)
+  | Unknown
+
+type method_used = Sticky_buchi | Guarded_search | Weak_acyclicity_check
+
+type report = {
+  classification : Classification.report;
+  answer : answer;
+  method_used : method_used;
+  detail : string;
+}
+
+val decide : ?sticky_max_states:int -> ?guarded_max_depth:int -> Chase_core.Tgd.t list -> report
+val pp_answer : Format.formatter -> answer -> unit
+val pp : Format.formatter -> report -> unit

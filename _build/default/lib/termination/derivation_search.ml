@@ -1,0 +1,184 @@
+(* Exhaustive exploration of the restricted chase's non-determinism.
+
+   CTres∀∀ quantifies over *all* derivations of a database: this module
+   walks the tree of active-trigger choices, memoizing instances up to
+   null-renaming (with canonical trigger naming, permuted derivations
+   reach literally equal instances, and the memo key is additionally
+   invariant under null renaming).  Outcomes:
+
+     - [All_terminate]: every restricted chase derivation of the database
+       is finite (within the state budget);
+     - [Divergence_evidence]: some derivation exceeded the depth budget —
+       empirical evidence of an infinite derivation (the returned prefix
+       is a valid derivation, checkable independently);
+     - [State_budget]: too many distinct instances; no conclusion. *)
+
+open Chase_core
+open Chase_engine
+
+type stats = { states_explored : int; final_instances : int; longest : int }
+
+type outcome =
+  | All_terminate of stats
+  | Divergence_evidence of Derivation.t
+  | State_budget of stats
+
+(* A memo key invariant under null renaming: blank the nulls, sort, then
+   number nulls in encounter order.  Equal keys imply isomorphic-by-null-
+   renaming instances (the converse may fail, which only costs work). *)
+let instance_key instance =
+  let atoms = Instance.to_list instance in
+  let blanked =
+    List.map
+      (fun a ->
+        let shape =
+          Atom.args a
+          |> List.map (function
+               | Term.Const c -> "c:" ^ c
+               | Term.Null _ -> "_"
+               | Term.Var v -> "v:" ^ v)
+          |> String.concat ","
+        in
+        (Printf.sprintf "%s(%s)" (Atom.pred a) shape, a))
+      atoms
+  in
+  let sorted = List.sort (fun (s1, a1) (s2, a2) ->
+      let c = String.compare s1 s2 in
+      if c <> 0 then c else Atom.compare a1 a2)
+      blanked
+  in
+  let ids = Hashtbl.create 16 in
+  let next = ref 0 in
+  let render (_, a) =
+    Atom.args a
+    |> List.map (function
+         | Term.Const c -> "c:" ^ c
+         | Term.Var v -> "v:" ^ v
+         | Term.Null n ->
+             let id =
+               match Hashtbl.find_opt ids n with
+               | Some i -> i
+               | None ->
+                   let i = !next in
+                   incr next;
+                   Hashtbl.add ids n i;
+                   i
+             in
+             Printf.sprintf "_%d" id)
+    |> String.concat ","
+    |> Printf.sprintf "%s(%s)" (Atom.pred a)
+  in
+  String.concat ";" (List.map render sorted)
+
+exception Diverged of Derivation.step list
+exception Out_of_states
+
+let default_max_depth = 100
+let default_max_states = 20_000
+
+let explore ?(max_depth = default_max_depth) ?(max_states = default_max_states) tgds database =
+  let memo = Hashtbl.create 1024 in
+  let finals = ref 0 in
+  let longest = ref 0 in
+  let rec visit instance depth path =
+    if depth > !longest then longest := depth;
+    if depth >= max_depth then raise (Diverged path);
+    let key = instance_key instance in
+    if Hashtbl.mem memo key then ()
+    else begin
+      Hashtbl.add memo key ();
+      if Hashtbl.length memo > max_states then raise Out_of_states;
+      let active = Restricted.active_triggers tgds instance in
+      match active with
+      | [] -> incr finals
+      | _ ->
+          List.iter
+            (fun trigger ->
+              (* canonical naming: permutation-invariant instances *)
+              let after, produced = Trigger.apply instance trigger in
+              let step =
+                {
+                  Derivation.index = depth;
+                  trigger;
+                  produced;
+                  frontier = Trigger.frontier_terms trigger;
+                  after;
+                }
+              in
+              visit after (depth + 1) (step :: path))
+            active
+    end
+  in
+  let stats () =
+    { states_explored = Hashtbl.length memo; final_instances = !finals; longest = !longest }
+  in
+  try
+    visit database 0 [];
+    All_terminate (stats ())
+  with
+  | Diverged path ->
+      Divergence_evidence
+        (Derivation.make ~database ~steps:(List.rev path) ~status:Derivation.Out_of_budget)
+  | Out_of_states -> State_budget (stats ())
+
+(* The liberal variant the paper's §7 poses as future work (question 3):
+   is there a *finite* restricted chase derivation of the database — i.e.
+   some trigger order that reaches an instance with no active triggers?
+   On finite state spaces the exhaustive walk answers it exactly; the
+   first terminating derivation found is returned as a witness. *)
+exception Found of Derivation.step list
+
+let some_terminating_derivation ?(max_depth = default_max_depth)
+    ?(max_states = default_max_states) tgds database =
+  let memo = Hashtbl.create 1024 in
+  let rec visit instance depth path =
+    if depth < max_depth then begin
+      let key = instance_key instance in
+      if not (Hashtbl.mem memo key) then begin
+        Hashtbl.add memo key ();
+        if Hashtbl.length memo > max_states then raise Out_of_states;
+        match Restricted.active_triggers tgds instance with
+        | [] -> raise (Found path)
+        | active ->
+            List.iter
+              (fun trigger ->
+                let after, produced = Trigger.apply instance trigger in
+                let step =
+                  {
+                    Derivation.index = depth;
+                    trigger;
+                    produced;
+                    frontier = Trigger.frontier_terms trigger;
+                    after;
+                  }
+                in
+                visit after (depth + 1) (step :: path))
+              active
+      end
+    end
+  in
+  try
+    visit database 0 [];
+    None
+  with
+  | Found path ->
+      Some
+        (Derivation.make ~database ~steps:(List.rev path) ~status:Derivation.Terminated)
+  | Out_of_states -> None
+
+(* Does some derivation of [database] exceed the depth budget?  A cheap
+   pre-check before full exploration: try depth-first strategies first. *)
+let divergence_evidence ?(max_depth = default_max_depth) ?max_states tgds database =
+  let by_strategy strategy =
+    let d = Restricted.run ~strategy ~max_steps:max_depth tgds database in
+    match Derivation.status d with Derivation.Out_of_budget -> Some d | _ -> None
+  in
+  match by_strategy Restricted.Lifo with
+  | Some d -> Some d
+  | None -> (
+      match by_strategy Restricted.Fifo with
+      | Some d -> Some d
+      | None -> (
+          match explore ~max_depth ?max_states tgds database with
+          | Divergence_evidence d -> Some d
+          | All_terminate _ | State_budget _ -> None))

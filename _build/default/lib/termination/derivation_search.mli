@@ -1,0 +1,38 @@
+(** Exhaustive exploration of the restricted chase's non-determinism:
+    CTres∀∀ quantifies over {e all} derivations, so this module walks the
+    tree of active-trigger choices, memoizing instances up to null
+    renaming (canonical trigger naming makes permuted derivations
+    literally equal). *)
+
+open Chase_core
+open Chase_engine
+
+type stats = { states_explored : int; final_instances : int; longest : int }
+
+type outcome =
+  | All_terminate of stats
+      (** every restricted derivation of the database is finite *)
+  | Divergence_evidence of Derivation.t
+      (** a valid derivation prefix that exceeded the depth budget *)
+  | State_budget of stats  (** no conclusion *)
+
+(** A memo key invariant under null renaming (equal keys ⇒ isomorphic by
+    a null bijection). *)
+val instance_key : Instance.t -> string
+
+val default_max_depth : int
+val default_max_states : int
+
+val explore : ?max_depth:int -> ?max_states:int -> Tgd.t list -> Instance.t -> outcome
+
+(** Depth-first strategies first, then {!explore}: [Some] diverging
+    prefix if any derivation exceeds the depth budget. *)
+val divergence_evidence :
+  ?max_depth:int -> ?max_states:int -> Tgd.t list -> Instance.t -> Derivation.t option
+
+(** The liberal variant the paper's §7 poses as future work: is there
+    {e some} finite (hence valid) restricted chase derivation of the
+    database?  Returns the first terminating derivation found, [None]
+    when the explored space has none (or a budget interrupts). *)
+val some_terminating_derivation :
+  ?max_depth:int -> ?max_states:int -> Tgd.t list -> Instance.t -> Derivation.t option

@@ -1,0 +1,85 @@
+(* Graphviz (DOT) exports for the paper's graph-shaped objects: the real
+   oblivious chase with its parent relation (Def 3.3), join trees
+   (Def 5.4), and abstract join trees (Def 5.8).  `chasectl ... --dot`
+   prints these; pipe into `dot -Tsvg` to look at them. *)
+
+open Chase_core
+open Chase_engine
+
+let escape s =
+  String.concat "" (List.map (fun c -> if c = '"' then "\\\"" else String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let real_oblivious graph =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "digraph ochase {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  Array.iter
+    (fun node ->
+      let id = node.Real_oblivious.id in
+      let label =
+        match node.Real_oblivious.origin with
+        | None -> Printf.sprintf "%s\\n⊥" (Atom.to_string node.Real_oblivious.atom)
+        | Some t ->
+            Printf.sprintf "%s\\n%s"
+              (Atom.to_string node.Real_oblivious.atom)
+              (Tgd.name (Trigger.tgd t))
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  n%d [label=\"%s\"%s];\n" id (escape label)
+           (if node.Real_oblivious.origin = None then ", style=filled, fillcolor=lightgray"
+            else ""));
+      Array.iter
+        (fun p -> Buffer.add_string b (Printf.sprintf "  n%d -> n%d;\n" p id))
+        node.Real_oblivious.parents)
+    (Real_oblivious.nodes graph);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let join_tree tree =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "graph jointree {\n  node [shape=box, fontsize=10];\n";
+  let counter = ref 0 in
+  let rec walk parent (n : Join_tree.t) =
+    let id = !counter in
+    incr counter;
+    Buffer.add_string b
+      (Printf.sprintf "  n%d [label=\"%s\"];\n" id (escape (Atom.to_string n.Join_tree.atom)));
+    (match parent with
+    | Some p -> Buffer.add_string b (Printf.sprintf "  n%d -- n%d;\n" p id)
+    | None -> ());
+    List.iter (walk (Some id)) n.Join_tree.children
+  in
+  walk None tree;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let abstract_join_tree (t : Abstract_join_tree.t) =
+  let atoms = Abstract_join_tree.atoms_with_ids t in
+  let atom_of id = List.assoc id atoms in
+  let b = Buffer.create 512 in
+  Buffer.add_string b "digraph ajt {\n  node [shape=record, fontsize=10];\n";
+  let counter = ref 0 in
+  let rec walk parent (n : Abstract_join_tree.node) =
+    let id = !counter in
+    incr counter;
+    let org =
+      match n.Abstract_join_tree.org with
+      | Abstract_join_tree.F -> "F"
+      | Abstract_join_tree.Rule r -> Printf.sprintf "σ%d" r
+    in
+    Buffer.add_string b
+      (Printf.sprintf "  n%d [label=\"{%s | %s | δ = %s}\"%s];\n" id
+         (escape n.Abstract_join_tree.pr)
+         org
+         (escape (Atom.to_string (atom_of id)))
+         (if n.Abstract_join_tree.org = Abstract_join_tree.F then
+            ", style=filled, fillcolor=lightgray"
+          else ""));
+    (match parent with
+    | Some p -> Buffer.add_string b (Printf.sprintf "  n%d -> n%d;\n" p id)
+    | None -> ());
+    List.iter (walk (Some id)) n.Abstract_join_tree.children
+  in
+  walk None t;
+  Buffer.add_string b "}\n";
+  Buffer.contents b

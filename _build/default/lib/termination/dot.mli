@@ -1,0 +1,13 @@
+(** Graphviz (DOT) exports for the paper's graph-shaped objects; pipe
+    into [dot -Tsvg].  Exposed via [chasectl … --dot]. *)
+
+open Chase_engine
+
+(** ochase(D,T) with its ≺p edges (database nodes shaded). *)
+val real_oblivious : Real_oblivious.t -> string
+
+(** A join tree (Def 5.4), as an undirected tree. *)
+val join_tree : Join_tree.t -> string
+
+(** An abstract join tree (Def 5.8) with decoded atoms per node. *)
+val abstract_join_tree : Abstract_join_tree.t -> string

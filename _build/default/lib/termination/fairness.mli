@@ -1,0 +1,32 @@
+(** The Fairness Theorem machinery (paper §4): the §4 construction on
+    finite derivation prefixes, and Lemma 4.4 as an executable check.
+    The theorem fails for multi-head TGDs (Example B.1) — the single-head
+    requirement is enforced. *)
+
+open Chase_core
+open Chase_engine
+
+(** Lemma 4.4's bound: the number of equality types over sch(T). *)
+val equality_type_bound : Tgd.t list -> int
+
+(** The core claim of Lemma 4.4 on a prefix: two same-TGD atoms that stop
+    each other may never both be generated.  Returns an offending pair if
+    one exists (it never should on a valid derivation). *)
+val lemma_4_4_witness : Derivation.t -> (Atom.t * Atom.t) option
+
+(** Triggers that became active in the prefix and are still active at the
+    end — the candidates fairification must serve, earliest first. *)
+val persistent_active_triggers : Tgd.t list -> Derivation.t -> Trigger.t list
+
+(** One step of the §4 construction: insert the application of the
+    trigger at an index ℓ past its activation point and past every
+    element of A = \{ i : result(σ,h) ≺s result(σᵢ,hᵢ) \}; every later
+    step is re-checked for activeness (Lemma 4.5).  The derivation must
+    use canonical null naming.
+    @raise Invalid_argument on multi-head TGDs. *)
+val insert_step : Tgd.t list -> Derivation.t -> Trigger.t -> (Derivation.t, string) result
+
+(** Iterate {!insert_step} for the earliest persistent triggers — the
+    diagonal of the s_{D,T} matrix, on a prefix.
+    @raise Invalid_argument on multi-head TGDs. *)
+val fairify : ?rounds:int -> Tgd.t list -> Derivation.t -> (Derivation.t, string) result

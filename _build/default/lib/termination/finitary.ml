@@ -1,0 +1,147 @@
+(* From a free uniformly connected caterpillar to a finitary one
+   (paper Lemma 6.13, §6.4), on prefixes.
+
+   A caterpillar's legs may grow forever — the free caterpillar extracted
+   from a derivation, or unrolled from a lasso, invents fresh leg terms at
+   every step.  Lemma 6.13 unifies leg terms through a *unifying function*
+   h : V → T, where V collects the leg terms not tied to immortal
+   positions and T is a fixed set of 2m fresh terms (m bounded by the
+   uniform pass-on distance d times the maximal TGD width).  The key
+   facts — (i) |Vᵢ| ≤ m per pass-on window, and (ii) a term shared with an
+   earlier window already occurs in the window before it — let two
+   alternating banks of m terms suffice: windows of even parity draw from
+   bank A, odd from bank B, so adjacent windows never collide while
+   distant windows happily reuse names.
+
+   This module implements exactly that two-bank scheme on caterpillar
+   prefixes and re-validates the result — {!Caterpillar.validate} is the
+   soundness oracle, so a successful return *is* a finitary caterpillar
+   prefix with the same body. *)
+
+open Chase_core
+open Chase_engine
+
+type stats = {
+  leg_atoms_before : int;
+  leg_atoms_after : int;
+  leg_terms_before : int;
+  leg_terms_after : int;
+  bank_size : int;  (* m: terms per bank *)
+}
+
+(* Terms eligible for unification: occurring in legs but in no body atom
+   (relay and frontier terms of the path are off-limits). *)
+let leg_only_terms cat =
+  let body_terms =
+    List.fold_left
+      (fun acc a -> Term.Set.union (Atom.term_set a) acc)
+      Term.Set.empty (Caterpillar.body cat)
+  in
+  Term.Set.diff (Instance.active_domain (Caterpillar.legs cat)) body_terms
+  |> Term.Set.filter Term.is_null
+
+(* The legs used by one step: body images other than the γ-image. *)
+let step_legs (s : Caterpillar.step) =
+  let tgd = Trigger.tgd s.Caterpillar.trigger in
+  let hom = Trigger.hom s.Caterpillar.trigger in
+  List.mapi (fun i b -> (i, Substitution.apply_atom hom b)) (Tgd.body tgd)
+  |> List.filter_map (fun (i, img) ->
+         if i <> s.Caterpillar.gamma_index then Some img else None)
+
+(* Split the steps into pass-on windows: window k runs from (and
+   including) the k-th pass-on step (window 0 is the prefix before the
+   first pass-on). *)
+let windows cat =
+  let rec go current acc = function
+    | [] -> List.rev (List.rev current :: acc)
+    | (s : Caterpillar.step) :: rest ->
+        if s.Caterpillar.pass_on <> [] && current <> [] then
+          go [ s ] (List.rev current :: acc) rest
+        else go (s :: current) acc rest
+  in
+  match go [] [] (Caterpillar.steps cat) with [] -> [ [] ] | ws -> ws
+
+let finitarize cat =
+  let eligible = leg_only_terms cat in
+  let ws = windows cat in
+  (* V_i: eligible terms used by window i's legs *)
+  let window_terms =
+    List.map
+      (fun steps ->
+        List.fold_left
+          (fun acc s ->
+            List.fold_left
+              (fun acc leg -> Term.Set.union (Term.Set.inter (Atom.term_set leg) eligible) acc)
+              acc (step_legs s))
+          Term.Set.empty steps)
+      ws
+  in
+  let bank_size = List.fold_left (fun m v -> max m (Term.Set.cardinal v)) 0 window_terms in
+  (* two alternating banks of [bank_size] fresh terms *)
+  let bank parity j = Term.Null (Printf.sprintf "t%c%d" (if parity = 0 then 'A' else 'B') j) in
+  let mapping = Hashtbl.create 32 in
+  List.iteri
+    (fun i v ->
+      let parity = i mod 2 in
+      (* names already taken inside this window by terms mapped earlier
+         (they persist from the previous window, fact (ii)) *)
+      let taken = Hashtbl.create 8 in
+      Term.Set.iter
+        (fun t ->
+          match Hashtbl.find_opt mapping t with
+          | Some name -> Hashtbl.replace taken name ()
+          | None -> ())
+        v;
+      let next_free = ref 0 in
+      Term.Set.iter
+        (fun t ->
+          if not (Hashtbl.mem mapping t) then begin
+            while Hashtbl.mem taken (bank parity !next_free) do
+              incr next_free
+            done;
+            let name = bank parity !next_free in
+            Hashtbl.add mapping t name;
+            Hashtbl.replace taken name ()
+          end)
+        v)
+    window_terms;
+  let unify t = match Hashtbl.find_opt mapping t with Some u -> u | None -> t in
+  let rename_atom a = Atom.map unify a in
+  let rename_trigger tr =
+    let hom' =
+      Substitution.bindings (Trigger.hom tr)
+      |> List.map (fun (v, t) -> (v, unify t))
+      |> Substitution.of_bindings
+    in
+    Trigger.make (Trigger.tgd tr) hom'
+  in
+  let legs_before = Caterpillar.legs cat in
+  let cat' =
+    {
+      Caterpillar.legs = Instance.map rename_atom legs_before;
+      start = cat.Caterpillar.start;  (* body terms are untouched *)
+      steps =
+        List.map
+          (fun (s : Caterpillar.step) ->
+            { s with Caterpillar.trigger = rename_trigger s.Caterpillar.trigger })
+          (Caterpillar.steps cat);
+    }
+  in
+  let stats =
+    {
+      leg_atoms_before = Instance.cardinal legs_before;
+      leg_atoms_after = Instance.cardinal (Caterpillar.legs cat');
+      leg_terms_before = Term.Set.cardinal (Instance.active_domain legs_before);
+      leg_terms_after = Term.Set.cardinal (Instance.active_domain (Caterpillar.legs cat'));
+      bank_size;
+    }
+  in
+  (cat', stats)
+
+(* The validated pipeline: unify, then let the caterpillar validator
+   decide whether the result still satisfies Defs 6.2/6.3/6.6. *)
+let finitarize_checked tgds cat =
+  let cat', stats = finitarize cat in
+  match Caterpillar.validate tgds cat' with
+  | Ok () -> Ok (cat', stats)
+  | Error e -> Error ("unification broke the caterpillar: " ^ e)

@@ -1,0 +1,31 @@
+(** From a free uniformly connected caterpillar to a finitary one
+    (paper Lemma 6.13, §6.4), on prefixes: unify the leg-only terms
+    window-by-window into two alternating banks of fresh terms, then
+    re-validate.  A successful result is a caterpillar prefix with the
+    same body and a leg vocabulary bounded by 2·[bank_size]. *)
+
+open Chase_core
+
+type stats = {
+  leg_atoms_before : int;
+  leg_atoms_after : int;
+  leg_terms_before : int;
+  leg_terms_after : int;
+  bank_size : int;  (** m: terms per bank *)
+}
+
+(** Leg terms eligible for unification: in the legs, in no body atom. *)
+val leg_only_terms : Caterpillar.t -> Term.Set.t
+
+(** The legs used by one step. *)
+val step_legs : Caterpillar.step -> Atom.t list
+
+(** Steps grouped into pass-on windows. *)
+val windows : Caterpillar.t -> Caterpillar.step list list
+
+(** The raw unification (not validated). *)
+val finitarize : Caterpillar.t -> Caterpillar.t * stats
+
+(** Unify and validate against Defs 6.2/6.3/6.6. *)
+val finitarize_checked :
+  Tgd.t list -> Caterpillar.t -> (Caterpillar.t * stats, string) result

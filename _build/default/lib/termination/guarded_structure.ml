@@ -1,0 +1,138 @@
+(* The guard-parent and side-parent structure over the real oblivious
+   chase (paper App. C.2, "Guard- and Side-Parent Relation").
+
+   For guarded single-head TGDs, every generated node of ochase(D,T) has
+   a unique guard-parent — the node matched against guard(σ) — which
+   makes ochase a forest under ≺gp with the database nodes as roots.  The
+   remaining parents are side-parents, refined by sideatom types π
+   recording how the side atom plugs into the guard (v ≺π_sp u).
+
+   On top of these we detect the remote-side-parent situations of
+   Def 5.7/C.1 — ⟨α, α′, β, β′⟩ with α ≺⁺gp α′, β ≺⁺gp β′ (reflexively),
+   β′ ≺sp α′ — and the induced "longs for" graph over the database, this
+   time over the graph itself rather than over a derivation (compare
+   {!Treeify.longs_for_edges}, which derives the same information from a
+   concrete derivation; the tests check they agree). *)
+
+open Chase_core
+open Chase_engine
+open Chase_classes
+
+type t = {
+  graph : Real_oblivious.t;
+  guard_parent : int array;  (* node id -> guard-parent id, -1 for roots *)
+  root : int array;  (* node id -> database root id of its ≺gp chain *)
+}
+
+let require_guarded tgds =
+  if not (Guardedness.is_guarded tgds) then
+    invalid_arg "Guarded_structure: guarded TGDs required"
+
+let build tgds graph =
+  require_guarded tgds;
+  let n = Real_oblivious.size graph in
+  let guard_parent = Array.make n (-1) in
+  let root = Array.make n (-1) in
+  Array.iter
+    (fun node ->
+      let id = node.Real_oblivious.id in
+      match node.Real_oblivious.origin with
+      | None -> root.(id) <- id
+      | Some trigger ->
+          let tgd = Trigger.tgd trigger in
+          let gi = Option.get (Guardedness.guard_index tgd) in
+          let gp = node.Real_oblivious.parents.(gi) in
+          guard_parent.(id) <- gp;
+          root.(id) <- root.(gp)
+          (* parents precede children in id order, so root.(gp) is set *))
+    (Real_oblivious.nodes graph);
+  { graph; guard_parent; root }
+
+let guard_parent s id = if s.guard_parent.(id) < 0 then None else Some s.guard_parent.(id)
+
+let root s id = s.root.(id)
+
+(* v ≺⁺gp u (proper ancestors). *)
+let rec is_gp_ancestor s ~ancestor ~of_ =
+  match guard_parent s of_ with
+  | None -> false
+  | Some p -> p = ancestor || is_gp_ancestor s ~ancestor ~of_:p
+
+(* The guard subtree below a node (including it). *)
+let guard_subtree s id =
+  let n = Real_oblivious.size s.graph in
+  let members = ref [] in
+  for v = n - 1 downto 0 do
+    if v = id || is_gp_ancestor s ~ancestor:id ~of_:v then members := v :: !members
+  done;
+  !members
+
+(* The side-parents of a generated node, with their sideatom types
+   relative to the guard-parent's atom: v ≺π_sp u. *)
+let side_parents s id =
+  let node = Real_oblivious.node s.graph id in
+  match node.Real_oblivious.origin with
+  | None -> []
+  | Some trigger ->
+      let tgd = Trigger.tgd trigger in
+      let gi = Option.get (Guardedness.guard_index tgd) in
+      let gp_atom =
+        (Real_oblivious.node s.graph node.Real_oblivious.parents.(gi)).Real_oblivious.atom
+      in
+      List.concat
+        (List.mapi
+           (fun k parent_id ->
+             if k = gi then []
+             else
+               let atom = (Real_oblivious.node s.graph parent_id).Real_oblivious.atom in
+               List.map (fun pi -> (parent_id, pi)) (Sideatom_type.all_of_pair atom ~of_:gp_atom))
+           (Array.to_list node.Real_oblivious.parents))
+
+(* Remote-side-parent situations ⟨α, α′, β, β′⟩ (Def 5.7, with β ≺*gp β′
+   read reflexively so that database side atoms are covered): α and β are
+   distinct database roots, α′ lies in α's guard subtree, and one of α′'s
+   side-parents β′ lies in β's subtree. *)
+type remote_situation = {
+  alpha : int;  (* a database node *)
+  alpha' : int;  (* α ≺⁺gp α′ *)
+  beta : int;  (* another database node *)
+  beta' : int;  (* β ≺*gp β′, and β′ ≺sp α′ *)
+}
+
+let remote_situations s =
+  let acc = ref [] in
+  Array.iter
+    (fun node ->
+      let id = node.Real_oblivious.id in
+      if node.Real_oblivious.origin <> None then begin
+        let alpha = root s id in
+        List.iter
+          (fun (sp, _pi) ->
+            let beta = root s sp in
+            if beta <> alpha then
+              acc := { alpha; alpha' = id; beta; beta' = sp } :: !acc)
+          (side_parents s id)
+      end)
+    (Real_oblivious.nodes s.graph);
+  List.rev !acc
+
+(* The longs-for graph over database atoms (cf. Treeify.longs_for_edges,
+   which computes it from a derivation instead). *)
+let longs_for s =
+  remote_situations s
+  |> List.map (fun r ->
+         ( (Real_oblivious.node s.graph r.alpha).Real_oblivious.atom,
+           (Real_oblivious.node s.graph r.beta).Real_oblivious.atom ))
+  |> List.sort_uniq (fun (a, b) (c, d) ->
+         let x = Atom.compare a c in
+         if x <> 0 then x else Atom.compare b d)
+
+(* Guard-subtree sizes per database root — the α∞ selector of §5.2. *)
+let subtree_sizes s =
+  let count = Hashtbl.create 16 in
+  Array.iter
+    (fun node ->
+      let r = root s node.Real_oblivious.id in
+      Hashtbl.replace count r (1 + Option.value ~default:0 (Hashtbl.find_opt count r)))
+    (Real_oblivious.nodes s.graph);
+  count

@@ -1,0 +1,45 @@
+(** Guard-parent / side-parent structure over the real oblivious chase
+    (paper App. C.2): the ≺gp forest, π-refined side-parents, the
+    remote-side-parent situations of Def 5.7, and the induced longs-for
+    graph — computed over the graph itself (the derivation-based
+    counterpart lives in {!Treeify}). *)
+
+open Chase_core
+open Chase_engine
+
+type t
+
+(** @raise Invalid_argument on unguarded TGDs. *)
+val build : Tgd.t list -> Real_oblivious.t -> t
+
+(** The unique guard-parent of a generated node; [None] on roots. *)
+val guard_parent : t -> int -> int option
+
+(** The database node rooting the ≺gp chain. *)
+val root : t -> int -> int
+
+(** v ≺⁺gp u (proper ancestor). *)
+val is_gp_ancestor : t -> ancestor:int -> of_:int -> bool
+
+(** The guard subtree below a node, including it. *)
+val guard_subtree : t -> int -> int list
+
+(** Side-parents of a generated node with their sideatom types relative
+    to the guard-parent's atom (v ≺π_sp u). *)
+val side_parents : t -> int -> (int * Sideatom_type.t) list
+
+type remote_situation = {
+  alpha : int;  (** a database node *)
+  alpha' : int;  (** α ≺⁺gp α′ *)
+  beta : int;  (** another database node *)
+  beta' : int;  (** β ≺*gp β′ and β′ ≺sp α′ *)
+}
+
+(** All remote-side-parent situations (Def 5.7, β ≺*gp β′ reflexive). *)
+val remote_situations : t -> remote_situation list
+
+(** The longs-for graph over database atoms. *)
+val longs_for : t -> (Atom.t * Atom.t) list
+
+(** Guard-subtree sizes per database root. *)
+val subtree_sizes : t -> (int, int) Hashtbl.t

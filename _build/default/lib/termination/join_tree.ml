@@ -1,0 +1,89 @@
+(* Join trees and acyclic instances (paper Def 5.4).
+
+   An instance is acyclic when its atoms can be arranged in a tree such
+   that, for every term, the atoms mentioning it form a connected subtree.
+   We decide acyclicity with the classic GYO ear-removal on the hypergraph
+   whose hyperedges are the atoms' term sets, and build the join tree as
+   ears are removed. *)
+
+open Chase_core
+
+type t = { atom : Atom.t; children : t list }
+
+let rec fold f acc n = List.fold_left (fold f) (f acc n.atom) n.children
+
+let atoms root = List.rev (fold (fun acc a -> a :: acc) [] root)
+
+let rec size n = 1 + List.fold_left (fun s c -> s + size c) 0 n.children
+
+(* Is (T, id) a join tree of I (Def 5.4)?  (1) every atom appears, and
+   (2) for every term, the nodes mentioning it are connected. *)
+let is_join_tree_of root instance =
+  let tree_atoms = Instance.of_list (atoms root) in
+  let covers = Instance.equal tree_atoms instance in
+  (* For each term t: the subgraph of tree nodes mentioning t must be
+     connected.  We check top-down: count the "entry points" — nodes
+     mentioning t whose parent does not mention t — which must be ≤ 1. *)
+  let entry_points : (Term.t, int) Hashtbl.t = Hashtbl.create 16 in
+  let bump t =
+    Hashtbl.replace entry_points t (1 + Option.value ~default:0 (Hashtbl.find_opt entry_points t))
+  in
+  let rec walk parent_terms n =
+    let terms = Atom.term_set n.atom in
+    Term.Set.iter (fun t -> if not (Term.Set.mem t parent_terms) then bump t) terms;
+    List.iter (walk terms) n.children
+  in
+  walk Term.Set.empty root;
+  covers && Hashtbl.fold (fun _ c ok -> ok && c <= 1) entry_points true
+
+(* GYO ear removal.  An atom α is an ear when the terms it shares with
+   other atoms are all contained in a single other atom β (its witness),
+   or when it shares nothing (witness: any remaining atom).  Returns a
+   join tree when the hypergraph is acyclic. *)
+let gyo instance =
+  let atoms0 = Instance.to_list instance in
+  match atoms0 with
+  | [] -> None
+  | _ ->
+      (* children collected as ears attach to witnesses *)
+      let children : (Atom.t, t list) Hashtbl.t = Hashtbl.create 16 in
+      let get_children a = Option.value ~default:[] (Hashtbl.find_opt children a) in
+      let remaining = ref atoms0 in
+      let removed_something = ref true in
+      while List.length !remaining > 1 && !removed_something do
+        removed_something := false;
+        let rec try_remove before = function
+          | [] -> ()
+          | alpha :: after ->
+              let others = List.rev_append before after in
+              let shared =
+                Term.Set.filter
+                  (fun t -> List.exists (fun b -> Atom.mem_term b t) others)
+                  (Atom.term_set alpha)
+              in
+              let witness =
+                List.find_opt (fun b -> Term.Set.subset shared (Atom.term_set b)) others
+              in
+              (match witness with
+              | Some beta ->
+                  Hashtbl.replace children beta
+                    ({ atom = alpha; children = get_children alpha } :: get_children beta);
+                  Hashtbl.remove children alpha;
+                  remaining := others;
+                  removed_something := true
+              | None -> try_remove (alpha :: before) after)
+        in
+        try_remove [] !remaining
+      done;
+      (match !remaining with
+      | [ last ] -> Some { atom = last; children = get_children last }
+      | _ -> None)
+
+let is_acyclic instance = Instance.is_empty instance || Option.is_some (gyo instance)
+
+let rec pp_node ppf n =
+  Format.fprintf ppf "@[<v 2>%s" (Atom.to_string n.atom);
+  List.iter (fun c -> Format.fprintf ppf "@,%a" pp_node c) n.children;
+  Format.fprintf ppf "@]"
+
+let pp = pp_node

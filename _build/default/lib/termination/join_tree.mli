@@ -1,0 +1,23 @@
+(** Join trees and acyclic instances (paper Def 5.4): an instance is
+    acyclic when its atoms can be arranged in a tree where, for every
+    term, the atoms mentioning it form a connected subtree.  Decided by
+    GYO ear removal. *)
+
+open Chase_core
+
+type t = { atom : Atom.t; children : t list }
+
+val fold : ('a -> Atom.t -> 'a) -> 'a -> t -> 'a
+val atoms : t -> Atom.t list
+val size : t -> int
+
+(** Is the tree a join tree of the instance (both conditions of
+    Def 5.4)? *)
+val is_join_tree_of : t -> Instance.t -> bool
+
+(** GYO ear removal; [Some] join tree iff the instance is acyclic and
+    non-empty. *)
+val gyo : Instance.t -> t option
+
+val is_acyclic : Instance.t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+(** CTres∀∀ for single-head {e linear} TGDs via single-atom critical
+    databases (paper §1.2; the setting of Leclère et al., ICDT'19): if
+    any database diverges, some single-atom database does, and single
+    atoms matter only up to equality type — finitely many candidates,
+    each explored exhaustively.  Cross-validated against the sticky
+    decider on linear ∩ sticky inputs by the test suite. *)
+
+open Chase_core
+
+type evidence = { database : Instance.t; derivation : Chase_engine.Derivation.t }
+
+type verdict =
+  | All_terminating of { candidates : int }  (** conclusive within budgets *)
+  | Non_terminating of evidence
+  | Inconclusive of string
+
+(** One single-atom database per equality type over sch(T). *)
+val critical_databases : Tgd.t list -> Instance.t list
+
+val default_max_depth : int
+val default_max_states : int
+
+(** @raise Invalid_argument on non-linear or multi-head TGDs. *)
+val decide : ?max_depth:int -> ?max_states:int -> Tgd.t list -> verdict

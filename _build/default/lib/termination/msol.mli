@@ -1,0 +1,84 @@
+(** The MSOL sentence φ_T of Lemma 5.12 (paper §5.3, App. C.3),
+    constructed explicitly over the alphabet Λ_T: φ_T holds exactly on
+    the chaseable abstract join trees for T.  The sentence is the
+    reproducible artifact of the paper's reduction (satisfiability over
+    infinite trees — the k-EXPTIME step — is substituted per DESIGN.md);
+    it is closed, measurable, and its labels range over the alphabet that
+    {!Abstract_join_tree} implements. *)
+
+open Chase_core
+
+type side = F_side | M_side
+
+type label = {
+  l_pred : string;
+  l_org : Abstract_join_tree.origin;
+  l_eq : int array;  (** classes of (f,0..ar-1) ++ (m,0..ar-1) *)
+}
+
+val label_to_string : label -> string
+val eq_related : ar:int -> label -> side * int -> side * int -> bool
+
+(** Λ_T, enumerated: predicates × origins × partitions of 2·ar(T)
+    slots. *)
+val alphabet : Tgd.t list -> label list
+
+val alphabet_size : Tgd.t list -> int
+
+type formula =
+  | True
+  | False
+  | Label of label * string  (** M_τ(x) *)
+  | Edge of string * string  (** tree child relation *)
+  | Eq of string * string
+  | Mem of string * string  (** x ∈ A *)
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+  | Implies of formula * formula
+  | Iff of formula * formula
+  | Forall1 of string * formula
+  | Exists1 of string * formula
+  | Forall2 of string * formula
+  | Exists2 of string * formula
+
+val conj : formula list -> formula
+val disj : formula list -> formula
+val size : formula -> int
+
+(** (first-order, second-order) quantifier counts. *)
+val quantifier_count : formula -> int * int
+
+val is_closed : formula -> bool
+val pp : Format.formatter -> formula -> unit
+
+type context
+
+val make_context : Tgd.t list -> context
+
+(** ϕ_fin(A): the named set is finite (App. C.3 encoding). *)
+val phi_fin : string -> formula
+
+(** ϕ^{i,j}_=(x,y): the i-th term of δ(x) equals the j-th of δ(y). *)
+val phi_eq : context -> int -> int -> string -> string -> formula
+
+(** ϕ_π(x,y): δ(x) ⊆π δ(y). *)
+val phi_pi : context -> Sideatom_type.t -> string -> string -> formula
+
+(** ϕ_s(x,y): x ≺s y. *)
+val phi_s : context -> string -> string -> formula
+
+(** ψ_b(x,y): x ≺b y. *)
+val psi_b : context -> string -> string -> formula
+
+(** ϕ_b(x,y): x ≺⁺b y, via downward-closed sets. *)
+val phi_b : context -> string -> string -> formula
+
+val phi_jt : context -> formula
+val phi_1 : context -> formula
+val phi_2 : context -> formula
+val phi_3 : context -> formula
+
+(** φ_T = ϕ_jt ∧ ϕ₁ ∧ ϕ₂ ∧ ϕ₃.
+    @raise Invalid_argument on unguarded TGDs. *)
+val phi_t : Tgd.t list -> formula

@@ -1,0 +1,149 @@
+(* A brute-force MSOL evaluator over finite labeled trees.
+
+   The paper's φ_T (Lemma 5.12) lives on *infinite* trees, where only
+   automata-theoretic methods decide it; but its building blocks —
+   ϕ^{i,j}_=, ϕ_π, ϕ_s, ψ_b — speak about finite neighbourhoods, and on
+   finite abstract join trees they can be evaluated by sheer enumeration:
+   first-order variables range over the nodes, second-order variables
+   over all subsets (as bit sets).  The test suite uses this to check the
+   formulas of {!Msol} against the ground truth computed directly from
+   the decoded instance — the semantic soundness of the Lemma 5.12
+   construction, on finite instances.
+
+   Exponential by design; meant for trees of ≤ ~10 nodes. *)
+
+
+type tree = {
+  labels : Msol.label array;  (* per node id *)
+  parent : int array;  (* -1 for the root *)
+}
+
+exception Unbound of string
+
+(* Flatten an abstract join tree into indexable arrays, padding every
+   label's eq relation to the uniform 2·ar(T) slots of Λ_T (padded slots
+   get fresh singleton classes, related to nothing). *)
+let of_abstract_join_tree ~ar (t : Abstract_join_tree.t) =
+  let nodes = ref [] in
+  let rec walk parent (n : Abstract_join_tree.node) =
+    let id = List.length !nodes in
+    nodes := (id, parent, n) :: !nodes;
+    List.iter (walk id) n.Abstract_join_tree.children
+  in
+  walk (-1) t;
+  let nodes = List.rev !nodes in
+  let count = List.length nodes in
+  let labels = Array.make count None in
+  let parent = Array.make count (-1) in
+  List.iter
+    (fun (id, pid, (n : Abstract_join_tree.node)) ->
+      parent.(id) <- pid;
+      let f = n.Abstract_join_tree.eq.Abstract_join_tree.f_classes in
+      let m = n.Abstract_join_tree.eq.Abstract_join_tree.m_classes in
+      (* joint class space, padded with fresh ids *)
+      let fresh = ref 10_000 in
+      let slot side i =
+        let arr = match side with `F -> f | `M -> m in
+        if i < Array.length arr then arr.(i)
+        else begin
+          incr fresh;
+          !fresh
+        end
+      in
+      let eq = Array.init (2 * ar) (fun k -> if k < ar then slot `F k else slot `M (k - ar)) in
+      labels.(id) <-
+        Some
+          {
+            Msol.l_pred = n.Abstract_join_tree.pr;
+            l_org = n.Abstract_join_tree.org;
+            l_eq = eq;
+          })
+    nodes;
+  { labels = Array.map Option.get labels; parent }
+
+let size t = Array.length t.labels
+
+(* Does node [x] carry label [l]?  Labels are compared by predicate,
+   origin and the equality relation *restricted to meaningful slots*:
+   padded singleton classes match any singleton structure, so we compare
+   the induced relation "slots k, k' related", which canonicalization
+   makes stable. *)
+let label_matches ~ar (node_label : Msol.label) (l : Msol.label) =
+  String.equal node_label.Msol.l_pred l.Msol.l_pred
+  && node_label.Msol.l_org = l.Msol.l_org
+  &&
+  let related (lab : Msol.label) k k' = lab.Msol.l_eq.(k) = lab.Msol.l_eq.(k') in
+  let ok = ref true in
+  for k = 0 to (2 * ar) - 1 do
+    for k' = 0 to (2 * ar) - 1 do
+      if related node_label k k' <> related l k k' then ok := false
+    done
+  done;
+  !ok
+
+(* Evaluate a formula.  Environments: first-order vars → node ids,
+   second-order vars → bitsets over nodes; free variables may be
+   pre-bound through [fo] / [so]. *)
+let eval ?(fo = []) ?(so = []) ~ar tree formula =
+  let fo0 = fo and so0 = so in
+  let n = size tree in
+  let subsets = 1 lsl n in
+  let mem set i = set land (1 lsl i) <> 0 in
+  let rec go fo so = function
+    | Msol.True -> true
+    | Msol.False -> false
+    | Msol.Label (l, x) -> (
+        match List.assoc_opt x fo with
+        | Some id -> label_matches ~ar tree.labels.(id) l
+        | None -> raise (Unbound x))
+    | Msol.Edge (x, y) -> (
+        match (List.assoc_opt x fo, List.assoc_opt y fo) with
+        | Some a, Some b -> tree.parent.(b) = a
+        | _ -> raise (Unbound (x ^ "/" ^ y)))
+    | Msol.Eq (x, y) -> (
+        match (List.assoc_opt x fo, List.assoc_opt y fo) with
+        | Some a, Some b -> a = b
+        | _ -> raise (Unbound (x ^ "/" ^ y)))
+    | Msol.Mem (x, a) -> (
+        match (List.assoc_opt x fo, List.assoc_opt a so) with
+        | Some id, Some set -> mem set id
+        | _ -> raise (Unbound (x ^ "∈" ^ a)))
+    | Msol.Not f -> not (go fo so f)
+    | Msol.And fs -> List.for_all (go fo so) fs
+    | Msol.Or fs -> List.exists (go fo so) fs
+    | Msol.Implies (p, q) -> (not (go fo so p)) || go fo so q
+    | Msol.Iff (p, q) -> go fo so p = go fo so q
+    | Msol.Forall1 (x, f) ->
+        let ok = ref true in
+        let i = ref 0 in
+        while !ok && !i < n do
+          if not (go ((x, !i) :: fo) so f) then ok := false;
+          incr i
+        done;
+        !ok
+    | Msol.Exists1 (x, f) ->
+        let found = ref false in
+        let i = ref 0 in
+        while (not !found) && !i < n do
+          if go ((x, !i) :: fo) so f then found := true;
+          incr i
+        done;
+        !found
+    | Msol.Forall2 (a, f) ->
+        let ok = ref true in
+        let s = ref 0 in
+        while !ok && !s < subsets do
+          if not (go fo ((a, !s) :: so) f) then ok := false;
+          incr s
+        done;
+        !ok
+    | Msol.Exists2 (a, f) ->
+        let found = ref false in
+        let s = ref 0 in
+        while (not !found) && !s < subsets do
+          if go fo ((a, !s) :: so) f then found := true;
+          incr s
+        done;
+        !found
+  in
+  go fo0 so0 formula

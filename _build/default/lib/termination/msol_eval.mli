@@ -1,0 +1,22 @@
+(** Brute-force MSOL evaluation over finite labeled trees: first-order
+    variables range over nodes, second-order over all subsets (bitsets).
+    Used by the tests to check the Lemma 5.12 formulas of {!Msol} against
+    ground truth on small finite abstract join trees.  Exponential by
+    design — keep trees at ≤ ~10 nodes. *)
+
+type tree
+
+(** Flatten an abstract join tree, padding each label's eq relation to
+    the uniform 2·ar(T) slots of Λ_T. *)
+val of_abstract_join_tree : ar:int -> Abstract_join_tree.t -> tree
+
+val size : tree -> int
+
+exception Unbound of string
+
+(** [eval ~fo ~so ~ar tree f]: evaluate [f] with free first-order
+    variables bound to node ids by [fo] and second-order variables to
+    bitsets by [so].
+    @raise Unbound on a variable bound nowhere. *)
+val eval :
+  ?fo:(string * int) list -> ?so:(string * int) list -> ar:int -> tree -> Msol.formula -> bool

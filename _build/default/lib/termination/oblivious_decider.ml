@@ -1,0 +1,53 @@
+(* All-instances termination of the (semi-)oblivious chase via the
+   critical database (Marnette PODS'09; used by [Calautti-Gottlob-Pieris
+   PODS'15] and [Calautti-Pieris ICDT'19], the oblivious-chase papers the
+   paper builds on).
+
+   For the oblivious and semi-oblivious chase — unlike the restricted one
+   (paper §1.2) — the database D* collecting every atom R(c,…,c) is
+   critical: if any database leads to an infinite chase, D* does.  So
+   all-instances oblivious termination reduces to termination on D*,
+   which we semi-decide by running the chase with a budget:
+
+     - saturation within the budget is a *proof* of all-instances
+       oblivious termination;
+     - exceeding the budget is evidence of divergence (single-instance
+       oblivious termination is itself undecidable, so no budget-free
+       answer exists).
+
+   This module is the baseline against which the paper's restricted-chase
+   results are compared (experiment E9): sets in CTres∀∀ \ CTobl∀∀ are
+   exactly where the restricted chase earns its activeness checks. *)
+
+open Chase_core
+open Chase_engine
+
+type verdict =
+  | All_terminating of { atoms : int; applications : int }  (* proof *)
+  | Diverging_on_critical of { prefix_atoms : int }  (* budget evidence *)
+
+(* D*: every R(c, …, c). *)
+let critical_database tgds =
+  let schema = Schema.of_tgds tgds in
+  Schema.fold
+    (fun p ar acc -> Instance.add (Atom.make p (List.init ar (fun _ -> Term.Const "c"))) acc)
+    schema Instance.empty
+
+let default_max_steps = 20_000
+
+let decide ?(variant = Oblivious.Oblivious) ?(max_steps = default_max_steps) tgds =
+  let d_star = critical_database tgds in
+  let r = Oblivious.run ~variant ~max_steps tgds d_star in
+  if r.Oblivious.saturated then
+    All_terminating
+      { atoms = Instance.cardinal r.Oblivious.instance; applications = r.Oblivious.applications }
+  else Diverging_on_critical { prefix_atoms = Instance.cardinal r.Oblivious.instance }
+
+(* The naive transfer to the restricted chase that the paper's §1.2 warns
+   about: D* is NOT critical for the restricted chase.  Exposed so that
+   tests and benches can exhibit a counterexample (Example 5.6: the
+   critical database terminates under the restricted chase while
+   {R(a,b), S(b,c)} does not). *)
+let restricted_terminates_on_critical ?(max_steps = default_max_steps) tgds =
+  let d_star = critical_database tgds in
+  Derivation.terminated (Restricted.run ~max_steps tgds d_star)

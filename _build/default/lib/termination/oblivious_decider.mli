@@ -1,0 +1,24 @@
+(** All-instances termination of the (semi-)oblivious chase via the
+    critical database D* = \{R(c,…,c)\} (Marnette PODS'09) — the baseline
+    the paper's restricted-chase results are measured against.
+    Saturation of the chase of D* within the budget is a proof of
+    all-instances oblivious termination; exceeding it is divergence
+    evidence. *)
+
+open Chase_core
+open Chase_engine
+
+type verdict =
+  | All_terminating of { atoms : int; applications : int }  (** proof *)
+  | Diverging_on_critical of { prefix_atoms : int }  (** budget evidence *)
+
+(** D*: one R(c,…,c) per predicate. *)
+val critical_database : Tgd.t list -> Instance.t
+
+val default_max_steps : int
+
+val decide : ?variant:Oblivious.variant -> ?max_steps:int -> Tgd.t list -> verdict
+
+(** Does the {e restricted} chase terminate on D*?  §1.2's warning: this
+    says nothing about other databases (Example 5.6 separates them). *)
+val restricted_terminates_on_critical : ?max_steps:int -> Tgd.t list -> bool

@@ -1,0 +1,187 @@
+(* The Treeification Theorem, executably (paper Thm 5.5, App. C.2).
+
+   If a database D admits an infinite restricted chase derivation w.r.t. a
+   guarded single-head set T, then some *acyclic* database does.  The
+   proof turns D into D_ac: it finds the database atom α∞ with an infinite
+   guard-subtree, builds the "longs for" graph over D from the
+   remote-side-parent situations (Def 5.7) that the derivation exhibits,
+   and unfolds it into a tree T_ac of directed paths from α∞ of bounded
+   length, each node labeled by a constant-renamed copy of its endpoint
+   that shares constants with its parent exactly as the original atoms
+   share them.
+
+   This implementation derives the guard-subtree and longs-for structure
+   from a (budget-cut) diverging derivation prefix, and *validates* the
+   construction by iterative deepening: it returns the shallowest D_ac on
+   which divergence evidence reappears, together with its join tree.  On
+   terminating inputs it reports failure. *)
+
+open Chase_core
+open Chase_engine
+open Chase_classes
+
+type result = {
+  alpha_infinity : Atom.t;  (* the D-atom with the largest guard subtree *)
+  longs_for : (Atom.t * Atom.t) list;  (* edges of the longs-for graph over D *)
+  dac : Instance.t;  (* the acyclic database *)
+  tree : Join_tree.t;  (* its join tree (T_ac) *)
+  depth : int;  (* path-length bound ℓ at which divergence reappeared *)
+  evidence : Derivation.t;  (* diverging derivation prefix on D_ac *)
+}
+
+let require_guarded tgds =
+  if not (Guardedness.is_guarded tgds) then invalid_arg "Treeify: guarded TGDs required";
+  List.iter
+    (fun t ->
+      if not (Tgd.is_single_head t) then invalid_arg "Treeify: single-head TGDs required")
+    tgds
+
+(* Guard- and side-parent images of every step of a derivation. *)
+let step_parents (s : Derivation.step) =
+  let tgd = Trigger.tgd s.Derivation.trigger in
+  let hom = Trigger.hom s.Derivation.trigger in
+  let gi = Option.get (Guardedness.guard_index tgd) in
+  let body = Tgd.body tgd in
+  let images = List.map (Substitution.apply_atom hom) body in
+  let guard = List.nth images gi in
+  let sides = List.filteri (fun i _ -> i <> gi) images in
+  (guard, sides)
+
+(* Roots of the guard-parent forest: map every atom of the derivation to
+   the database atom at the top of its guard-parent chain. *)
+let guard_roots database derivation =
+  let root : (Atom.t, Atom.t) Hashtbl.t = Hashtbl.create 64 in
+  Instance.iter (fun a -> Hashtbl.replace root a a) database;
+  List.iter
+    (fun (s : Derivation.step) ->
+      let guard, _ = step_parents s in
+      match Hashtbl.find_opt root guard with
+      | Some r -> List.iter (fun a -> Hashtbl.replace root a r) s.Derivation.produced
+      | None -> () (* guard not rooted (multi-head produced?) — skip *))
+    (Derivation.steps derivation);
+  root
+
+(* The longs-for graph: α longs for β (α ≠ β ∈ D) when some atom in α's
+   guard subtree uses, as a side-parent, an atom of β's guard subtree
+   (including β itself). *)
+let longs_for_edges database derivation =
+  let root = guard_roots database derivation in
+  let edges = ref [] in
+  List.iter
+    (fun (s : Derivation.step) ->
+      let guard, sides = step_parents s in
+      match Hashtbl.find_opt root guard with
+      | None -> ()
+      | Some alpha ->
+          List.iter
+            (fun side ->
+              match Hashtbl.find_opt root side with
+              | Some beta when not (Atom.equal alpha beta) -> edges := (alpha, beta) :: !edges
+              | _ -> ())
+            sides)
+    (Derivation.steps derivation);
+  List.sort_uniq (fun (a, b) (c, d) ->
+      let x = Atom.compare a c in
+      if x <> 0 then x else Atom.compare b d)
+    !edges
+
+(* Guard-subtree sizes per database atom. *)
+let subtree_sizes database derivation =
+  let root = guard_roots database derivation in
+  let count : (Atom.t, int) Hashtbl.t = Hashtbl.create 16 in
+  Instance.iter (fun a -> Hashtbl.replace count a 0) database;
+  List.iter
+    (fun (s : Derivation.step) ->
+      List.iter
+        (fun a ->
+          match Hashtbl.find_opt root a with
+          | Some r ->
+              Hashtbl.replace count r (1 + Option.value ~default:0 (Hashtbl.find_opt count r))
+          | None -> ())
+        s.Derivation.produced)
+    (Derivation.steps derivation);
+  count
+
+(* Build T_ac for a given path-length bound: unfold the longs-for graph
+   from α∞ into paths of length ≤ depth; each node is labeled with a
+   renamed copy of its endpoint sharing constants with its parent's label
+   exactly where the original atoms share them (App. C.2). *)
+let build_tree ~alpha_infinity ~edges ~depth =
+  let node_counter = ref 0 in
+  let successors a = List.filter_map (fun (x, y) -> if Atom.equal x a then Some y else None) edges in
+  (* label(child original β | parent original α, parent label λx) *)
+  let label_child ~beta ~alpha ~lambda_x node_id =
+    let n = Atom.arity beta in
+    let args = Array.make n (Term.Const "?") in
+    for i = 0 to n - 1 do
+      let bi = Atom.arg beta i in
+      (* share within the atom *)
+      let earlier =
+        let rec find j = if j >= i then None else if Term.equal (Atom.arg beta j) bi then Some j else find (j + 1) in
+        find 0
+      in
+      match earlier with
+      | Some j -> args.(i) <- args.(j)
+      | None -> (
+          (* share with the parent where β shares with α *)
+          match Atom.positions_of alpha bi with
+          | j :: _ -> args.(i) <- Atom.arg lambda_x j
+          | [] -> args.(i) <- Term.Const (Printf.sprintf "%s@%d" (Term.to_string bi) node_id))
+    done;
+    Atom.make_a (Atom.pred beta) args
+  in
+  let rec unfold original lambda remaining =
+    incr node_counter;
+    let children =
+      if remaining <= 0 then []
+      else
+        List.map
+          (fun beta ->
+            incr node_counter;
+            let lab = label_child ~beta ~alpha:original ~lambda_x:lambda !node_counter in
+            unfold beta lab (remaining - 1))
+          (successors original)
+    in
+    { Join_tree.atom = lambda; children }
+  in
+  unfold alpha_infinity alpha_infinity depth
+
+let default_max_depth_bound = 4
+let default_chase_budget = 300
+
+(* The full pipeline with iterative deepening and validation. *)
+let treeify ?(max_depth_bound = default_max_depth_bound) ?(chase_budget = default_chase_budget)
+    tgds database =
+  require_guarded tgds;
+  match Derivation_search.divergence_evidence ~max_depth:chase_budget tgds database with
+  | None -> Error "no divergence evidence on the input database"
+  | Some derivation ->
+      let sizes = subtree_sizes database derivation in
+      let alpha_infinity =
+        Instance.fold
+          (fun a best ->
+            match best with
+            | None -> Some a
+            | Some b ->
+                let ca = Option.value ~default:0 (Hashtbl.find_opt sizes a) in
+                let cb = Option.value ~default:0 (Hashtbl.find_opt sizes b) in
+                if ca > cb then Some a else best)
+          database None
+      in
+      (match alpha_infinity with
+      | None -> Error "empty database"
+      | Some alpha_infinity ->
+          let edges = longs_for_edges database derivation in
+          let rec deepen depth =
+            if depth > max_depth_bound then
+              Error
+                (Printf.sprintf "no divergence on D_ac up to path bound %d" max_depth_bound)
+            else
+              let tree = build_tree ~alpha_infinity ~edges ~depth in
+              let dac = Instance.of_list (Join_tree.atoms tree) in
+              match Derivation_search.divergence_evidence ~max_depth:chase_budget tgds dac with
+              | Some evidence ->
+                  Ok { alpha_infinity; longs_for = edges; dac; tree; depth; evidence }
+              | None -> deepen (depth + 1)
+          in
+          deepen 0)

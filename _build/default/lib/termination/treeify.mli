@@ -1,0 +1,51 @@
+(** The Treeification Theorem, executably (paper Thm 5.5, App. C.2): turn
+    a cyclic database with divergence evidence into an {e acyclic} one
+    with the same behaviour, by unfolding the "longs for" graph of
+    remote-side-parent situations (Def 5.7) from the atom α∞ with the
+    largest guard subtree.  Validated by iterative deepening: the
+    returned [dac] is the shallowest unfolding on which divergence
+    evidence reappears. *)
+
+open Chase_core
+open Chase_engine
+
+type result = {
+  alpha_infinity : Atom.t;  (** the D-atom with the largest guard subtree *)
+  longs_for : (Atom.t * Atom.t) list;  (** edges of the longs-for graph over D *)
+  dac : Instance.t;  (** the acyclic database D_ac *)
+  tree : Join_tree.t;  (** its join tree T_ac *)
+  depth : int;  (** path-length bound ℓ at which divergence reappeared *)
+  evidence : Derivation.t;  (** diverging derivation prefix on D_ac *)
+}
+
+(** Guard- and side-parent images of a derivation step (requires guarded
+    single-head TGDs). *)
+val step_parents : Derivation.step -> Atom.t * Atom.t list
+
+(** Map every atom of the derivation to the database atom rooting its
+    guard-parent chain. *)
+val guard_roots : Instance.t -> Derivation.t -> (Atom.t, Atom.t) Hashtbl.t
+
+(** α longs for β: some atom in α's guard subtree uses a side-parent from
+    β's guard subtree (Def 5.7, including β itself). *)
+val longs_for_edges : Instance.t -> Derivation.t -> (Atom.t * Atom.t) list
+
+val subtree_sizes : Instance.t -> Derivation.t -> (Atom.t, int) Hashtbl.t
+
+(** Unfold the longs-for graph from [alpha_infinity] into paths of length
+    ≤ [depth], labeling each node with a constant-renamed copy of its
+    endpoint (App. C.2). *)
+val build_tree :
+  alpha_infinity:Atom.t -> edges:(Atom.t * Atom.t) list -> depth:int -> Join_tree.t
+
+val default_max_depth_bound : int
+val default_chase_budget : int
+
+(** The full pipeline.
+    @raise Invalid_argument on unguarded or multi-head TGDs. *)
+val treeify :
+  ?max_depth_bound:int ->
+  ?chase_budget:int ->
+  Tgd.t list ->
+  Instance.t ->
+  (result, string) Result.t

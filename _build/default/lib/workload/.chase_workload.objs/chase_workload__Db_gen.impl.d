@@ -1,0 +1,1 @@
+lib/workload/db_gen.ml: Array Atom Chase_core Instance List Printf Random Schema Term

@@ -1,0 +1,1 @@
+lib/workload/db_gen.mli: Chase_core Instance Schema

@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: Chase_core Chase_parser List String Tgd

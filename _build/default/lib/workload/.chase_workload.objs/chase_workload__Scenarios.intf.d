@@ -1,0 +1,1 @@
+lib/workload/scenarios.mli: Chase_core Instance Tgd

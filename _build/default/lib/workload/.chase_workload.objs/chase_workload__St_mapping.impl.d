@@ -1,0 +1,1 @@
+lib/workload/st_mapping.ml: Atom Chase_core Chase_parser Format Instance List Printf Term Tgd

@@ -1,0 +1,1 @@
+lib/workload/st_mapping.mli: Chase_core Instance Tgd

@@ -1,0 +1,1 @@
+lib/workload/tgd_gen.ml: Array Atom Chase_classes Chase_core List Printf Random Term Tgd

@@ -1,0 +1,1 @@
+lib/workload/tgd_gen.mli: Chase_core Tgd

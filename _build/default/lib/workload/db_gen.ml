@@ -1,0 +1,58 @@
+(* Synthetic database generators for the scaling benchmarks (E8) and the
+   property tests: random databases over a schema, plus shaped relations
+   (chains, stars, grids) that exercise the chase differently. *)
+
+open Chase_core
+
+let const i = Term.Const (Printf.sprintf "c%d" i)
+
+(* [random ~schema ~atoms ~domain ~seed]: uniform facts. *)
+let random ~schema ~atoms ~domain ~seed =
+  let rng = Random.State.make [| seed |] in
+  let preds = Array.of_list (Schema.bindings schema) in
+  if Array.length preds = 0 then Instance.empty
+  else
+    let rec add acc k =
+      if k = 0 then acc
+      else
+        let p, ar = preds.(Random.State.int rng (Array.length preds)) in
+        let atom = Atom.make p (List.init ar (fun _ -> const (Random.State.int rng domain))) in
+        add (Instance.add atom acc) (k - 1)
+    in
+    add Instance.empty atoms
+
+(* A chain c₀ → c₁ → … → cₙ in a binary predicate. *)
+let chain ~pred ~length =
+  let rec go acc i =
+    if i >= length then acc
+    else go (Instance.add (Atom.make pred [ const i; const (i + 1) ]) acc) (i + 1)
+  in
+  go Instance.empty 0
+
+(* A star: c₀ → cᵢ for i ∈ [1..n]. *)
+let star ~pred ~rays =
+  let rec go acc i =
+    if i > rays then acc else go (Instance.add (Atom.make pred [ const 0; const i ]) acc) (i + 1)
+  in
+  go Instance.empty 1
+
+(* An n×n grid with right/down edges in a binary predicate. *)
+let grid ~pred ~n =
+  let idx i j = (i * n) + j in
+  let acc = ref Instance.empty in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if j + 1 < n then
+        acc := Instance.add (Atom.make pred [ const (idx i j); const (idx i (j + 1)) ]) !acc;
+      if i + 1 < n then
+        acc := Instance.add (Atom.make pred [ const (idx i j); const (idx (i + 1) j) ]) !acc
+    done
+  done;
+  !acc
+
+(* Unary population: p(c₀) … p(cₙ₋₁). *)
+let unary ~pred ~count =
+  let rec go acc i =
+    if i >= count then acc else go (Instance.add (Atom.make pred [ const i ]) acc) (i + 1)
+  in
+  go Instance.empty 0

@@ -1,0 +1,18 @@
+(** Synthetic database generators for benchmarks and property tests. *)
+
+open Chase_core
+
+(** Uniform random facts over a schema. *)
+val random : schema:Schema.t -> atoms:int -> domain:int -> seed:int -> Instance.t
+
+(** A chain c₀ → … → cₙ in a binary predicate. *)
+val chain : pred:string -> length:int -> Instance.t
+
+(** A star c₀ → cᵢ, i ∈ 1..rays. *)
+val star : pred:string -> rays:int -> Instance.t
+
+(** An n×n grid with right/down edges. *)
+val grid : pred:string -> n:int -> Instance.t
+
+(** Unary population p(c₀) … p(cₙ₋₁). *)
+val unary : pred:string -> count:int -> Instance.t

@@ -1,0 +1,233 @@
+(* The scenario gallery: every worked example of the paper plus classic
+   TGD sets, each with its ground-truth CTres∀∀ status.  The gallery
+   drives the tests (deciders must agree with the truth) and the
+   benchmark harness (experiment E6/E7). *)
+
+open Chase_core
+
+type truth =
+  | All_terminating  (* T ∈ CTres∀∀ *)
+  | Diverging  (* some database admits an infinite (valid) derivation *)
+
+type t = {
+  name : string;
+  description : string;
+  source : string;  (* where in the paper / literature it comes from *)
+  program : string;  (* surface syntax: TGDs and a representative database *)
+  truth : truth;
+}
+
+let scenarios =
+  [
+    {
+      name = "intro-oblivious-divergence";
+      description =
+        "The §1 example: the restricted chase sees the TGD satisfied and adds \
+         nothing, while the oblivious chase diverges.";
+      source = "paper §1";
+      program = "r(X,Y) -> exists Z. r(X,Z).\nr(a,b).";
+      truth = All_terminating;
+    };
+    {
+      name = "linear-successor";
+      description = "A fresh successor each step: diverges on every strategy.";
+      source = "folklore; paper §1.1 motivation";
+      program = "r(X,Y) -> exists Z. r(Y,Z).\nr(a,b).";
+      truth = Diverging;
+    };
+    {
+      name = "example-3-2";
+      description =
+        "The real-oblivious-chase example: S(a)'s parent is ambiguous in the \
+         plain oblivious chase.";
+      source = "paper Example 3.2 / 3.4";
+      program =
+        "s1: p(X,Y) -> r(X,Y).\n\
+         s2: p(X,Y) -> s(X).\n\
+         s3: r(X,Y) -> s(X).\n\
+         s4: s(X) -> exists Y. r(X,Y).\n\
+         p(a,b).";
+      truth = All_terminating;
+    };
+    {
+      name = "example-5-6";
+      description =
+        "Remote side-parents: {R(a,b), S(b,c)} diverges but {R(a,b)} alone \
+         terminates, defeating the naive critical database.";
+      source = "paper Example 5.6";
+      program =
+        "s1: s(X,Y) -> t(X).\n\
+         s2: r(X,Y), t(Y) -> p(X,Y).\n\
+         s3: p(X,Y) -> exists Z. p(Y,Z).\n\
+         r(a,b). s(b,c).";
+      truth = Diverging;
+    };
+    {
+      name = "example-B1-multihead";
+      description =
+        "The multi-head counterexample to the Fairness Theorem: an infinite \
+         unfair derivation exists, yet every fair derivation is finite — so \
+         the set is in CTres∀∀ (valid derivations only).";
+      source = "paper Example B.1";
+      program =
+        "m1: r(X,Y,Y) -> exists Z. r(X,Z,Y), r(Z,Y,Y).\n\
+         m2: r(X,Y,Z) -> r(Z,Z,Z).\n\
+         r(a,b,b).";
+      truth = All_terminating;
+    };
+    {
+      name = "sticky-paper-pair";
+      description = "The §2 stickiness illustration (the sticky one of the two).";
+      source = "paper §2";
+      program =
+        "s1: t(X,Y,Z) -> exists W. s(Y,W).\n\
+         s2: r(X,Y), p(Y,Z) -> exists W. t(X,Y,W).\n\
+         r(a,b). p(b,c).";
+      truth = All_terminating;
+    };
+    {
+      name = "sticky-relay-cycle";
+      description = "A two-rule frontier cycle: p feeds q feeds p with a live relay term.";
+      source = "this work";
+      program = "s1: p(X) -> exists Y. q(X,Y).\ns2: q(X,Y) -> p(Y).\np(a).";
+      truth = Diverging;
+    };
+    {
+      name = "sticky-empty-frontier";
+      description =
+        "Same shape but with an empty frontier in the second rule: any p-atom \
+         deactivates it, so the set terminates.";
+      source = "this work";
+      program = "s1: p(X) -> exists Y. q(X,Y).\ns2: q(X,Y) -> exists Z. p(Z).\nq(a,b).";
+      truth = All_terminating;
+    };
+    {
+      name = "sticky-swap";
+      description = "r(X,Y) → ∃Z r(Z,X): the invented null keeps moving left.";
+      source = "this work";
+      program = "r(X,Y) -> exists Z. r(Z,X).\nr(a,b).";
+      truth = Diverging;
+    };
+    {
+      name = "guarded-side-condition";
+      description =
+        "Guarded divergence needing a side atom: the guard alone is harmless.";
+      source = "variation on paper Example 5.6";
+      program =
+        "s1: r(X,Y), t(Y) -> exists Z. r(Y,Z).\n\
+         s2: r(X,Y) -> t(Y).\n\
+         r(a,b).";
+      truth = Diverging;
+    };
+    {
+      name = "weakly-acyclic-data-exchange";
+      description = "A small data-exchange style weakly acyclic set.";
+      source = "Fagin et al. TCS'05 style";
+      program =
+        "s1: emp(X) -> exists Y. reports(X,Y).\n\
+         s2: reports(X,Y) -> mgr(Y).\n\
+         s3: mgr(Y) -> person(Y).\n\
+         emp(alice). emp(bob).";
+      truth = All_terminating;
+    };
+    {
+      name = "guarded-terminating-loop";
+      description =
+        "A loop through existentials that the restricted chase always closes \
+         after one round (the oblivious chase does not).";
+      source = "this work";
+      program =
+        "s1: node(X) -> exists Y. edge(X,Y).\n\
+         s2: edge(X,Y) -> node(X).\n\
+         node(a).";
+      truth = All_terminating;
+    };
+    {
+      name = "witness-reuse-ontology";
+      description =
+        "Employees/teams with mutual existential membership rules: each rule's \
+         head is satisfied by the atom the other one creates, so the restricted \
+         chase closes after one round while both oblivious variants diverge.";
+      source = "this work; separates CTres from CTsobl";
+      program =
+        "o1: employee(E) -> exists T. member(E,T).\n\
+         o2: member(E,T) -> team(T).\n\
+         o3: team(T) -> exists E. member(E,T).\n\
+         o4: member(E,T) -> employee(E).\n\
+         employee(margaret). team(apollo).";
+      truth = All_terminating;
+    };
+    {
+      name = "ja-not-wa";
+      description =
+        "Kroetzsch-Rudolph style: the invented null can never reach bb, so the \
+         set is jointly acyclic (and terminating) although the position graph \
+         has a special cycle — separates the JA baseline from WA.";
+      source = "Kroetzsch & Rudolph IJCAI'11 style";
+      program =
+        "a1: aa(X) -> exists V. rr(X,V).\n\
+         a2: rr(X,Y), bb(Y) -> aa(Y).\n\
+         aa(k). bb(k). rr(k,k).";
+      truth = All_terminating;
+    };
+    {
+      name = "guarded-binary-tree";
+      description = "Two successors per node: diverges with exponential growth.";
+      source = "this work";
+      program =
+        "s1: n(X) -> exists Y. l(X,Y).\n\
+         s2: n(X) -> exists Y. r(X,Y).\n\
+         s3: l(X,Y) -> n(Y).\n\
+         s4: r(X,Y) -> n(Y).\n\
+         n(a).";
+      truth = Diverging;
+    };
+    {
+      name = "sticky-join-detector";
+      description =
+        "A multi-atom sticky set: the repeated variables of the detector rule \
+         stay unmarked because nothing consumes q, while the linear driver \
+         diverges.";
+      source = "this work";
+      program =
+        "s1: p(X,Y) -> exists Z. p(Y,Z).\n\
+         s2: p(X,Y), p(Y,X) -> q(X,Y).\n\
+         p(a,b).";
+      truth = Diverging;
+    };
+    {
+      name = "sticky-with-legs";
+      description =
+        "An unguarded sticky rule whose side atom u(W) becomes a fresh leg at \
+         every caterpillar step — the Lemma 6.13 finitarization showcase.";
+      source = "this work";
+      program = "s1: p(X,Y), u(W) -> exists Z. p(Y,Z).\np(a,b). u(k).";
+      truth = Diverging;
+    };
+    {
+      name = "linear-copy-terminates";
+      description = "Pure copying between predicates: no invention, terminates.";
+      source = "this work";
+      program = "s1: p(X,Y) -> q(Y,X).\ns2: q(X,Y) -> p(Y,X).\np(a,b).";
+      truth = All_terminating;
+    };
+    {
+      name = "linear-projection-chain";
+      description =
+        "Projection then re-invention: q(X) → ∃Y r(X,Y) → q(Y) — a fresh \
+         element each round.";
+      source = "this work";
+      program = "s1: q(X) -> exists Y. r(X,Y).\ns2: r(X,Y) -> q(Y).\nq(a).";
+      truth = Diverging;
+    };
+  ]
+
+let all = scenarios
+
+let by_name name = List.find_opt (fun s -> String.equal s.name name) scenarios
+
+let tgds s = Chase_parser.Program.tgds (Chase_parser.Parser.parse_program s.program)
+
+let database s = Chase_parser.Program.database (Chase_parser.Parser.parse_program s.program)
+
+let single_head s = List.for_all Tgd.is_single_head (tgds s)

@@ -1,0 +1,23 @@
+(** The scenario gallery: every worked example of the paper plus classic
+    TGD sets, each with its ground-truth CTres∀∀ status.  Drives the
+    agreement tests and experiments E6/E7. *)
+
+open Chase_core
+
+type truth =
+  | All_terminating  (** T ∈ CTres∀∀ *)
+  | Diverging  (** some database admits an infinite valid derivation *)
+
+type t = {
+  name : string;
+  description : string;
+  source : string;  (** provenance in the paper / literature *)
+  program : string;  (** surface syntax: TGDs and a representative database *)
+  truth : truth;
+}
+
+val all : t list
+val by_name : string -> t option
+val tgds : t -> Tgd.t list
+val database : t -> Instance.t
+val single_head : t -> bool

@@ -1,0 +1,83 @@
+(* Source-to-target data exchange workloads in the style of ChaseBench
+   [Benedikt et al., PODS'17] — the paper's reference [4] for practical
+   chase engines.  Each scenario is a scalable (TGDs, database) pair with
+   a guaranteed-terminating mapping, so E8-style scaling measurements are
+   about engine throughput, not termination luck. *)
+
+open Chase_core
+
+type scenario = {
+  name : string;
+  tgds : Tgd.t list;
+  database : Instance.t;
+  facts : int;
+}
+
+let c fmt = Format.kasprintf (fun s -> Term.Const s) fmt
+
+(* A simplified "doctors" scenario: source doctors, patients and
+   treatments; the mapping invents offices and prescriptions and derives
+   layered target facts. *)
+let doctors ~patients =
+  let tgds =
+    Chase_parser.Parser.parse_tgds
+      {|m1: doctor(D,H) -> exists O. works_at(D,H,O).
+        m2: treats(D,P), doctor(D,H) -> exists M. prescribed(P,M,D).
+        m3: prescribed(P,M,D) -> patient_of(P,D).
+        m4: works_at(D,H,O) -> hospital(H).
+        m5: patient_of(P,D), works_at(D,H,O) -> visits(P,H).|}
+  in
+  let database = ref Instance.empty in
+  let add a = database := Instance.add a !database in
+  let doctors_n = max 1 (patients / 4) in
+  for d = 0 to doctors_n - 1 do
+    add (Atom.make "doctor" [ c "d%d" d; c "h%d" (d mod 5) ])
+  done;
+  for p = 0 to patients - 1 do
+    add (Atom.make "patient" [ c "p%d" p ]);
+    add (Atom.make "treats" [ c "d%d" (p mod doctors_n); c "p%d" p ])
+  done;
+  { name = Printf.sprintf "doctors-%d" patients; tgds; database = !database; facts = Instance.cardinal !database }
+
+(* A deep scenario: a chain of mappings copy-with-invention through
+   [depth] layers; every source fact causes [depth] chased atoms. *)
+let deep ~depth ~width =
+  let layer i = Printf.sprintf "l%d" i in
+  let tgds =
+    List.init depth (fun i ->
+        Tgd.make
+          ~name:(Printf.sprintf "step%d" i)
+          ~body:[ Atom.make (layer i) [ Term.Var "X"; Term.Var "Y" ] ]
+          ~head:[ Atom.make (layer (i + 1)) [ Term.Var "Y"; Term.Var "Z" ] ]
+          ())
+  in
+  let database = ref Instance.empty in
+  for k = 0 to width - 1 do
+    database := Instance.add (Atom.make (layer 0) [ c "a%d" k; c "b%d" k ]) !database
+  done;
+  {
+    name = Printf.sprintf "deep-%dx%d" depth width;
+    tgds;
+    database = !database;
+    facts = width;
+  }
+
+(* A join-heavy scenario: target facts require two-way joins, stressing
+   the homomorphism search's index. *)
+let join_heavy ~rows =
+  let tgds =
+    Chase_parser.Parser.parse_tgds
+      {|j1: a(X,Y), b(Y,Z) -> ab(X,Z).
+        j2: ab(X,Z), cdim(Z) -> exists W. out(X,W).
+        j3: out(X,W) -> seen(X).|}
+  in
+  let database = ref Instance.empty in
+  let add a = database := Instance.add a !database in
+  for i = 0 to rows - 1 do
+    add (Atom.make "a" [ c "x%d" i; c "y%d" (i mod 20) ]);
+    add (Atom.make "b" [ c "y%d" (i mod 20); c "z%d" (i mod 7) ])
+  done;
+  for z = 0 to 6 do
+    add (Atom.make "cdim" [ c "z%d" z ])
+  done;
+  { name = Printf.sprintf "join-%d" rows; tgds; database = !database; facts = Instance.cardinal !database }

@@ -1,0 +1,24 @@
+(** ChaseBench-style scalable data-exchange workloads (cf. the paper's
+    reference \[4\]): guaranteed-terminating mappings with size knobs, so
+    scaling measurements are about engine throughput. *)
+
+open Chase_core
+
+type scenario = {
+  name : string;
+  tgds : Tgd.t list;
+  database : Instance.t;
+  facts : int;
+}
+
+(** Doctors/patients/prescriptions with invented offices and
+    prescriptions. *)
+val doctors : patients:int -> scenario
+
+(** A depth-layered copy-with-invention chain: every source fact chases
+    through [depth] layers. *)
+val deep : depth:int -> width:int -> scenario
+
+(** Two-way joins feeding an existential — stresses the homomorphism
+    index. *)
+val join_heavy : rows:int -> scenario

@@ -1,0 +1,117 @@
+(* Random TGD-set generators, seeded and reproducible.  Used by the
+   property tests ("generated guarded sets really are guarded", engine
+   laws hold on random inputs) and by the scaling benchmarks (E8). *)
+
+open Chase_core
+
+type config = {
+  predicates : int;  (* number of predicates *)
+  max_arity : int;
+  tgds : int;  (* number of TGDs *)
+  max_body : int;  (* max body atoms *)
+  seed : int;
+}
+
+let default = { predicates = 4; max_arity = 3; tgds = 4; max_body = 2; seed = 42 }
+
+let pred_name i = Printf.sprintf "p%d" i
+
+(* A fixed schema: predicate pᵢ has arity 1 + (i mod max_arity). *)
+let schema_of cfg =
+  List.init cfg.predicates (fun i -> (pred_name i, 1 + (i mod cfg.max_arity)))
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+(* A random guarded single-head TGD: draw a guard atom with distinct
+   variables, side atoms over subsets of the guard's variables, and a
+   head that mixes frontier variables with fresh existentials. *)
+let random_guarded_tgd rng cfg idx =
+  let schema = schema_of cfg in
+  let gpred, gar = pick rng schema in
+  let guard_vars = List.init gar (fun i -> Term.Var (Printf.sprintf "X%d" i)) in
+  let guard = Atom.make gpred guard_vars in
+  let n_side = Random.State.int rng cfg.max_body in
+  let sides =
+    List.init n_side (fun _ ->
+        let p, ar = pick rng schema in
+        Atom.make p (List.init ar (fun _ -> pick rng guard_vars)))
+  in
+  let hpred, har = pick rng schema in
+  let head_args =
+    List.init har (fun i ->
+        if Random.State.bool rng then pick rng guard_vars
+        else Term.Var (Printf.sprintf "Z%d" i))
+  in
+  let head = Atom.make hpred head_args in
+  Tgd.make ~name:(Printf.sprintf "g%d" idx) ~body:(guard :: sides) ~head:[ head ] ()
+
+let guarded_set cfg =
+  let rng = Random.State.make [| cfg.seed |] in
+  List.init cfg.tgds (fun i -> random_guarded_tgd rng cfg i)
+
+(* A random linear TGD: single body atom with possibly repeated variables. *)
+let random_linear_tgd rng cfg idx =
+  let schema = schema_of cfg in
+  let bpred, bar = pick rng schema in
+  let vars = List.init (max 1 bar) (fun i -> Term.Var (Printf.sprintf "X%d" i)) in
+  let body = Atom.make bpred (List.init bar (fun _ -> pick rng vars)) in
+  let hpred, har = pick rng schema in
+  let head_args =
+    List.init har (fun i ->
+        if Random.State.bool rng then pick rng (Atom.terms body)
+        else Term.Var (Printf.sprintf "Z%d" i))
+  in
+  Tgd.make ~name:(Printf.sprintf "l%d" idx) ~body:[ body ] ~head:[ Atom.make hpred head_args ] ()
+
+let linear_set cfg =
+  let rng = Random.State.make [| cfg.seed |] in
+  List.init cfg.tgds (fun i -> random_linear_tgd rng cfg i)
+
+(* Sticky sets: rejection-sample linear-leaning candidates (linear TGDs
+   with distinct body variables are always sticky; mixing in a few
+   repeated-variable atoms keeps the generator honest) until the marking
+   accepts. *)
+let sticky_set cfg =
+  let rng = Random.State.make [| cfg.seed |] in
+  let rec attempt tries =
+    if tries > 200 then
+      (* fall back to plain linear with distinct variables, always sticky *)
+      List.init cfg.tgds (fun i ->
+          let schema = schema_of cfg in
+          let bpred, bar = pick rng schema in
+          let body = Atom.make bpred (List.init bar (fun j -> Term.Var (Printf.sprintf "X%d" j))) in
+          let hpred, har = pick rng schema in
+          let head =
+            Atom.make hpred
+              (List.init har (fun j ->
+                   if j < bar && Random.State.bool rng then Term.Var (Printf.sprintf "X%d" j)
+                   else Term.Var (Printf.sprintf "Z%d" j)))
+          in
+          Tgd.make ~name:(Printf.sprintf "s%d" i) ~body:[ body ] ~head:[ head ] ())
+    else
+      let candidate = List.init cfg.tgds (fun i -> random_linear_tgd rng cfg i) in
+      if Chase_classes.Stickiness.is_sticky candidate then candidate else attempt (tries + 1)
+  in
+  attempt 0
+
+(* Weakly acyclic sets: layer the predicates and only allow TGDs from
+   lower to strictly higher layers, so the dependency graph is a DAG. *)
+let weakly_acyclic_set cfg =
+  let rng = Random.State.make [| cfg.seed |] in
+  let schema = Array.of_list (schema_of cfg) in
+  let n = Array.length schema in
+  if n < 2 then []
+  else
+    List.init cfg.tgds (fun idx ->
+        let bi = Random.State.int rng (n - 1) in
+        let hi = bi + 1 + Random.State.int rng (n - bi - 1) in
+        let bpred, bar = schema.(bi) and hpred, har = schema.(hi) in
+        let vars = List.init bar (fun i -> Term.Var (Printf.sprintf "X%d" i)) in
+        let body = Atom.make bpred vars in
+        let head =
+          Atom.make hpred
+            (List.init har (fun i ->
+                 if i < bar then Term.Var (Printf.sprintf "X%d" i)
+                 else Term.Var (Printf.sprintf "Z%d" i)))
+        in
+        Tgd.make ~name:(Printf.sprintf "w%d" idx) ~body:[ body ] ~head:[ head ] ())

@@ -1,0 +1,32 @@
+(** Seeded random TGD-set generators, one per class, used by property
+    tests and scaling benchmarks.  Each generator's output provably
+    belongs to its class (checked by property tests). *)
+
+open Chase_core
+
+type config = {
+  predicates : int;
+  max_arity : int;
+  tgds : int;
+  max_body : int;  (** max body atoms beyond the guard *)
+  seed : int;
+}
+
+val default : config
+
+(** The fixed schema used by a configuration: predicate pᵢ with arity
+    1 + (i mod max_arity). *)
+val schema_of : config -> (string * int) list
+
+(** Guarded single-head TGDs: a full-variable guard plus side atoms over
+    its variables. *)
+val guarded_set : config -> Tgd.t list
+
+(** Linear TGDs (single body atom, possibly repeated variables). *)
+val linear_set : config -> Tgd.t list
+
+(** Sticky sets by rejection sampling over linear-leaning candidates. *)
+val sticky_set : config -> Tgd.t list
+
+(** Weakly acyclic sets by layering the schema. *)
+val weakly_acyclic_set : config -> Tgd.t list

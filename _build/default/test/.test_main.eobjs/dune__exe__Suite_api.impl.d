@@ -1,0 +1,1 @@
+test/suite_api.ml: Alcotest Array Chase Format List Option Printf String

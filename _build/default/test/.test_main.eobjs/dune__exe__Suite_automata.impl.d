@@ -1,0 +1,1 @@
+test/suite_automata.ml: Alcotest Buchi Chase_automata List

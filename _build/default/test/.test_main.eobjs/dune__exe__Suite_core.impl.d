@@ -1,0 +1,1 @@
+test/suite_core.ml: Alcotest Atom Chase_core Chase_parser Equality_type Homomorphism Instance List Option Printf QCheck2 QCheck_alcotest Schema Sideatom_type Substitution Term Test Tgd Tgen

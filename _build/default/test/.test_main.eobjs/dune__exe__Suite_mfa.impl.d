@@ -1,0 +1,1 @@
+test/suite_mfa.ml: Alcotest Chase_classes Chase_core Chase_engine Chase_parser Chase_termination Chase_workload Gen List Mfa QCheck2 QCheck_alcotest Test

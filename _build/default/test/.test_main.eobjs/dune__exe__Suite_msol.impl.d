@@ -1,0 +1,1 @@
+test/suite_msol.ml: Abstract_join_tree Alcotest Array Chase_core Chase_engine Chase_parser Chase_termination Fun List Msol Msol_eval

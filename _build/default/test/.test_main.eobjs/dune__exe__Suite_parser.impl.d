@@ -1,0 +1,1 @@
+test/suite_parser.ml: Alcotest Array Atom Chase_core Chase_parser Filename Instance Lexer List Parser Printer Program Schema Sys Term Tgd

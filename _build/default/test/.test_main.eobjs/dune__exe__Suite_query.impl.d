@@ -1,0 +1,1 @@
+test/suite_query.ml: Alcotest Atom Certain_answers Chase_core Chase_parser Chase_query Chase_workload Conjunctive_query Containment List Term

@@ -1,0 +1,1 @@
+test/suite_sticky.ml: Alcotest Chase_parser Chase_termination Sticky_decider

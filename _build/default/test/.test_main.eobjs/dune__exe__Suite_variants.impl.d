@@ -1,0 +1,1 @@
+test/suite_variants.ml: Alcotest Atom Chase_core Chase_engine Chase_parser Chase_workload Core_chase Derivation Instance Model_check Parallel Restricted Sequentialize Term

@@ -1,0 +1,1 @@
+test/suite_workload.ml: Alcotest Atom Chase_classes Chase_core Chase_engine Chase_workload Db_gen Instance List Scenarios Schema St_mapping String Term Tgd Tgd_gen

@@ -1,0 +1,1 @@
+test/tgen.ml: Atom Chase_core Instance List QCheck2 Substitution Term Tgd

@@ -1,0 +1,157 @@
+(* Breadth tests over API surfaces the focused suites do not hit, all via
+   the Chase umbrella module (which doubles as its integration test). *)
+
+let program src =
+  let p = Chase.Parser.parse_program src in
+  (Chase.Program.tgds p, Chase.Program.database p)
+
+let unit_tests =
+  [
+    Alcotest.test_case "umbrella module wires every layer" `Quick (fun () ->
+        let tgds, db = program "r(X,Y) -> exists Z. r(X,Z).\nr(a,b)." in
+        let final = Chase.Restricted.run_exn tgds db in
+        Alcotest.(check bool) "model" true (Chase.Model_check.is_model ~database:db ~tgds final);
+        let report = Chase.Decider.decide tgds in
+        Alcotest.(check bool) "terminating" true
+          (report.Chase.Decider.answer = Chase.Decider.Terminating));
+    Alcotest.test_case "null generators count and stay distinct" `Quick (fun () ->
+        let g = Chase.Term.Gen.create ~prefix:"t" () in
+        let a = Chase.Term.Gen.fresh g and b = Chase.Term.Gen.fresh g in
+        Alcotest.(check bool) "distinct" false (Chase.Term.equal a b);
+        Alcotest.(check int) "count" 2 (Chase.Term.Gen.count g));
+    Alcotest.test_case "schema positions enumerate every argument" `Quick (fun () ->
+        let s = Chase.Schema.add "r" 2 (Chase.Schema.add "p" 1 Chase.Schema.empty) in
+        Alcotest.(check int) "three positions" 3 (List.length (Chase.Schema.positions s));
+        Alcotest.(check int) "max arity" 2 (Chase.Schema.max_arity s));
+    Alcotest.test_case "substitution restrict and extends" `Quick (fun () ->
+        let x = Chase.Term.Var "X" and y = Chase.Term.Var "Y" in
+        let s =
+          Chase.Substitution.bind x (Chase.Term.Const "a")
+            (Chase.Substitution.bind y (Chase.Term.Const "b") Chase.Substitution.empty)
+        in
+        let r = Chase.Substitution.restrict (Chase.Term.Set.singleton x) s in
+        Alcotest.(check int) "restricted to one" 1 (Chase.Substitution.cardinal r);
+        Alcotest.(check bool) "s extends r" true (Chase.Substitution.extends ~base:r s);
+        Alcotest.(check bool) "r does not extend s" false
+          (Chase.Substitution.extends ~base:s r));
+    Alcotest.test_case "retracts_away spots redundant atoms" `Quick (fun () ->
+        let c v = Chase.Term.Const v and n v = Chase.Term.Null v in
+        let i =
+          Chase.Instance.of_list
+            [ Chase.Atom.make "r" [ c "a"; c "b" ]; Chase.Atom.make "r" [ c "a"; n "x" ] ]
+        in
+        Alcotest.(check bool) "null atom is redundant" true
+          (Chase.Homomorphism.retracts_away i (Chase.Atom.make "r" [ c "a"; n "x" ]));
+        Alcotest.(check bool) "fact is not" false
+          (Chase.Homomorphism.retracts_away i (Chase.Atom.make "r" [ c "a"; c "b" ])));
+    Alcotest.test_case "oblivious terminates_within and derivation snapshots" `Quick
+      (fun () ->
+        let tgds, db = program "p(X,Y) -> q(Y).\np(a,b)." in
+        Alcotest.(check bool) "saturates" true
+          (Chase.Oblivious.terminates_within ~max_steps:10 tgds db);
+        let d = Chase.Restricted.run tgds db in
+        Alcotest.(check int) "I0 is the database" (Chase.Instance.cardinal db)
+          (Chase.Instance.cardinal (Chase.Derivation.instance_at d 0));
+        Alcotest.(check int) "one step" 1 (Chase.Derivation.length d);
+        Alcotest.(check int) "I1 grew" (1 + Chase.Instance.cardinal db)
+          (Chase.Instance.cardinal (Chase.Derivation.instance_at d 1)));
+    Alcotest.test_case "real oblivious children and per-pred node index" `Quick (fun () ->
+        let tgds, db = program "p(X) -> q(X).\nq(X) -> s(X).\np(a)." in
+        let g = Chase.Real_oblivious.build tgds db in
+        Alcotest.(check int) "three nodes" 3 (Chase.Real_oblivious.size g);
+        Alcotest.(check bool) "complete" true (Chase.Real_oblivious.complete g);
+        Alcotest.(check (list int)) "root's children" [ 1 ] (Chase.Real_oblivious.children g 0);
+        Alcotest.(check int) "q node" 1
+          (List.length (Chase.Real_oblivious.nodes_with_pred g "q")));
+    Alcotest.test_case "universal-model check against alternatives" `Quick (fun () ->
+        let tgds, db = program "emp(X) -> exists Y. mgr(X,Y).\nemp(a)." in
+        let chased = Chase.Restricted.run_exn tgds db in
+        let bigger =
+          Chase.Instance.add
+            (Chase.Atom.make "mgr" [ Chase.Term.Const "a"; Chase.Term.Const "boss" ])
+            db
+        in
+        Alcotest.(check bool) "universal among models" true
+          (Chase.Model_check.is_universal_among ~database:db ~tgds chased ~others:[ bigger ]));
+    Alcotest.test_case "caterpillar to_instance covers legs and body" `Quick (fun () ->
+        let tgds = Chase.Parser.parse_tgds "s1: p(X,Y), u(W) -> exists Z. p(Y,Z)." in
+        match Chase.Sticky_decider.decide tgds with
+        | Chase.Sticky_decider.Non_terminating cert ->
+            let cat = cert.Chase.Sticky_decider.prefix in
+            let all = Chase.Caterpillar.to_instance cat in
+            Alcotest.(check bool) "start present" true
+              (Chase.Instance.mem (Chase.Caterpillar.start cat) all);
+            Chase.Instance.iter
+              (fun leg ->
+                Alcotest.(check bool) "leg present" true (Chase.Instance.mem leg all))
+              (Chase.Caterpillar.legs cat)
+        | _ -> Alcotest.fail "expected divergence");
+    Alcotest.test_case "MSOL pretty-printer renders a small formula" `Quick (fun () ->
+        let f =
+          Chase.Msol.Forall1
+            ("x", Chase.Msol.Implies (Chase.Msol.Edge ("x", "x"), Chase.Msol.False))
+        in
+        let s = Format.asprintf "%a" Chase.Msol.pp f in
+        Alcotest.(check bool) "mentions the edge" true
+          (String.length s > 0 && String.contains s 'x'));
+    Alcotest.test_case "printer quotes odd constants" `Quick (fun () ->
+        Alcotest.(check bool) "bare" true (Chase.Printer.is_bare_const "abc_1");
+        Alcotest.(check bool) "not bare" false (Chase.Printer.is_bare_const "Odd Constant");
+        let fact = Chase.Atom.make "r" [ Chase.Term.Const "Odd Constant" ] in
+        let printed = Chase.Printer.print_fact fact in
+        let reparsed = Chase.Parser.parse_database printed in
+        Alcotest.(check bool) "round-trips" true (Chase.Instance.mem fact reparsed));
+    Alcotest.test_case "join tree fold and size agree" `Quick (fun () ->
+        let db = Chase.Db_gen.chain ~pred:"e" ~length:6 in
+        let jt = Option.get (Chase.Join_tree.gyo db) in
+        Alcotest.(check int) "size = atoms" (Chase.Instance.cardinal db)
+          (Chase.Join_tree.size jt);
+        Alcotest.(check int) "fold counts too" (Chase.Instance.cardinal db)
+          (List.length (Chase.Join_tree.atoms jt)));
+    Alcotest.test_case "DOT exports name every node" `Quick (fun () ->
+        let contains haystack needle =
+          let nl = String.length needle and hl = String.length haystack in
+          let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+          go 0
+        in
+        let tgds, db = program "p(X) -> q(X).\nq(X) -> exists Y. e(X,Y).\np(a)." in
+        let g = Chase.Real_oblivious.build tgds db in
+        let dot = Chase.Dot.real_oblivious g in
+        Alcotest.(check bool) "digraph" true (String.length dot > 0);
+        Array.iter
+          (fun n ->
+            let needle = Printf.sprintf "n%d " n.Chase.Real_oblivious.id in
+            Alcotest.(check bool) ("mentions " ^ needle) true (contains dot needle))
+          (Chase.Real_oblivious.nodes g);
+        (* join tree export *)
+        let jt = Option.get (Chase.Join_tree.gyo (Chase.Db_gen.chain ~pred:"e" ~length:3)) in
+        Alcotest.(check bool) "join tree graph" true
+          (contains (Chase.Dot.join_tree jt) "graph jointree"));
+    Alcotest.test_case "tgd satisfied_by_all and rename_apart" `Quick (fun () ->
+        let tgds =
+          Chase.Parser.parse_tgds "a(X) -> b(X).\nb(X) -> c(X)."
+        in
+        let renamed = Chase.Tgd.rename_apart tgds in
+        let vars t = Chase.Term.Set.elements (Chase.Tgd.all_vars t) in
+        (match renamed with
+        | [ t1; t2 ] ->
+            List.iter
+              (fun v1 ->
+                List.iter
+                  (fun v2 ->
+                    Alcotest.(check bool) "disjoint vars" false (Chase.Term.equal v1 v2))
+                  (vars t2))
+              (vars t1)
+        | _ -> Alcotest.fail "expected two TGDs");
+        let i =
+          Chase.Instance.of_list
+            [
+              Chase.Atom.make "a" [ Chase.Term.Const "k" ];
+              Chase.Atom.make "b" [ Chase.Term.Const "k" ];
+              Chase.Atom.make "c" [ Chase.Term.Const "k" ];
+            ]
+        in
+        Alcotest.(check bool) "satisfied" true (Chase.Tgd.satisfied_by_all i tgds));
+  ]
+
+let suite = [ ("api", unit_tests) ]

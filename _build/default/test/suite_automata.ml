@@ -1,0 +1,98 @@
+(* Direct tests for the Büchi substrate: hand-built automata with known
+   languages, lasso validation, budgets. *)
+
+open Chase_automata
+
+(* States and letters are ints; transitions given as a function. *)
+let make ~initial ~alphabet ~next ~accepting =
+  Buchi.make ~initial ~alphabet ~next ~accepting ~state_key:string_of_int
+
+let unit_tests =
+  [
+    Alcotest.test_case "empty language: no accepting cycle" `Quick (fun () ->
+        (* 0 -a-> 1 -a-> 2 (sink, non-accepting self loop) *)
+        let a =
+          make ~initial:0 ~alphabet:[ 'a' ]
+            ~next:(fun s _ -> match s with 0 -> Some 1 | 1 -> Some 2 | _ -> Some 2)
+            ~accepting:(fun s -> s = 1)
+        in
+        Alcotest.(check bool) "empty" true (Buchi.is_empty a));
+    Alcotest.test_case "accepting self-loop is non-empty with a unit cycle" `Quick (fun () ->
+        let a =
+          make ~initial:0 ~alphabet:[ 'a'; 'b' ]
+            ~next:(fun s c ->
+              match (s, c) with 0, 'a' -> Some 1 | 1, 'b' -> Some 1 | _ -> None)
+            ~accepting:(fun s -> s = 1)
+        in
+        match Buchi.emptiness a with
+        | Buchi.Nonempty lasso ->
+            Alcotest.(check (list char)) "prefix" [ 'a' ] lasso.Buchi.prefix;
+            Alcotest.(check (list char)) "cycle" [ 'b' ] lasso.Buchi.cycle;
+            Alcotest.(check bool) "validates" true (Buchi.accepts_lasso a lasso)
+        | _ -> Alcotest.fail "expected non-empty");
+    Alcotest.test_case "accepting state outside any cycle does not count" `Quick (fun () ->
+        (* 0 -a-> 1 (accepting) -a-> 0 : cycle through accepting — nonempty;
+           variant: 1 -a-> 2 sink: empty *)
+        let cyc =
+          make ~initial:0 ~alphabet:[ 'a' ]
+            ~next:(fun s _ -> match s with 0 -> Some 1 | 1 -> Some 0 | _ -> None)
+            ~accepting:(fun s -> s = 1)
+        in
+        Alcotest.(check bool) "cycle accepted" false (Buchi.is_empty cyc);
+        let nocyc =
+          make ~initial:0 ~alphabet:[ 'a' ]
+            ~next:(fun s _ -> match s with 0 -> Some 1 | 1 -> Some 2 | _ -> None)
+            ~accepting:(fun s -> s = 1)
+        in
+        Alcotest.(check bool) "no cycle" true (Buchi.is_empty nocyc));
+    Alcotest.test_case "lasso validation rejects wrong cycles" `Quick (fun () ->
+        let a =
+          make ~initial:0 ~alphabet:[ 'a'; 'b' ]
+            ~next:(fun s c ->
+              match (s, c) with 0, 'a' -> Some 1 | 1, 'b' -> Some 1 | _ -> None)
+            ~accepting:(fun s -> s = 1)
+        in
+        Alcotest.(check bool) "empty cycle rejected" false
+          (Buchi.accepts_lasso a { Buchi.prefix = [ 'a' ]; cycle = [] });
+        Alcotest.(check bool) "non-returning cycle rejected" false
+          (Buchi.accepts_lasso a { Buchi.prefix = []; cycle = [ 'a' ] });
+        Alcotest.(check bool) "rejecting letter rejected" false
+          (Buchi.accepts_lasso a { Buchi.prefix = [ 'a' ]; cycle = [ 'a' ] }));
+    Alcotest.test_case "budget exceeded on an unbounded state space" `Quick (fun () ->
+        let a =
+          make ~initial:0 ~alphabet:[ 'a' ] ~next:(fun s _ -> Some (s + 1)) ~accepting:(fun _ -> false)
+        in
+        match Buchi.emptiness ~max_states:50 a with
+        | Buchi.Budget_exceeded n -> Alcotest.(check bool) "counted" true (n >= 50)
+        | _ -> Alcotest.fail "expected budget exhaustion");
+    Alcotest.test_case "stats count reachable states and transitions" `Quick (fun () ->
+        let a =
+          make ~initial:0 ~alphabet:[ 'a'; 'b' ]
+            ~next:(fun s c ->
+              match (s, c) with
+              | 0, 'a' -> Some 1
+              | 0, 'b' -> Some 2
+              | 1, 'a' -> Some 2
+              | _ -> None)
+            ~accepting:(fun _ -> false)
+        in
+        let st = Buchi.stats a in
+        Alcotest.(check int) "states" 3 st.Buchi.states;
+        Alcotest.(check int) "transitions" 3 st.Buchi.transitions);
+    Alcotest.test_case "long chains do not overflow the stack" `Quick (fun () ->
+        (* 100k-state chain into an accepting loop: exercises the
+           iterative Tarjan *)
+        let n = 100_000 in
+        let a =
+          make ~initial:0 ~alphabet:[ 'a' ]
+            ~next:(fun s _ -> if s < n then Some (s + 1) else Some n)
+            ~accepting:(fun s -> s = n)
+        in
+        match Buchi.emptiness ~max_states:(n + 10) a with
+        | Buchi.Nonempty lasso ->
+            Alcotest.(check int) "prefix length" n (List.length lasso.Buchi.prefix);
+            Alcotest.(check bool) "validates" true (Buchi.accepts_lasso a lasso)
+        | _ -> Alcotest.fail "expected non-empty");
+  ]
+
+let suite = [ ("buchi", unit_tests) ]

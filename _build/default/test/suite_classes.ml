@@ -1,0 +1,163 @@
+(* Tests for the TGD class recognizers (paper §2 + weak acyclicity). *)
+
+open Chase_classes
+
+let parse = Chase_parser.Parser.parse_tgds
+
+let sticky_pair =
+  parse
+    {|s1: t(X,Y,Z) -> exists W. s(Y,W).
+      s2: r(X,Y), p(Y,Z) -> exists W. t(X,Y,W).|}
+
+let non_sticky_pair =
+  parse
+    {|s1: t(X,Y,Z) -> exists W. s(X,W).
+      s2: r(X,Y), p(Y,Z) -> exists W. t(X,Y,W).|}
+
+let example_5_6 =
+  parse
+    {|s1: s(X,Y) -> t(X).
+      s2: r(X,Y), t(Y) -> p(X,Y).
+      s3: p(X,Y) -> exists Z. p(Y,Z).|}
+
+let unit_tests =
+  [
+    Alcotest.test_case "guard is the left-most qualifying atom" `Quick (fun () ->
+        let t = Chase_parser.Parser.parse_tgd "a(X), g(X,Y), h(X,Y) -> exists Z. b(X,Z)." in
+        Alcotest.(check (option int)) "guard index" (Some 1) (Guardedness.guard_index t));
+    Alcotest.test_case "unguarded TGD detected" `Quick (fun () ->
+        let t = Chase_parser.Parser.parse_tgd "a(X,Y), b(Y,Z) -> c(X,Z)." in
+        Alcotest.(check bool) "unguarded" false (Guardedness.is_guarded_tgd t));
+    Alcotest.test_case "linear implies guarded" `Quick (fun () ->
+        let t = Chase_parser.Parser.parse_tgd "a(X,Y) -> exists Z. a(Y,Z)." in
+        Alcotest.(check bool) "linear" true (Guardedness.is_linear_tgd t);
+        Alcotest.(check bool) "guarded" true (Guardedness.is_guarded_tgd t));
+    Alcotest.test_case "paper §2: the sticky/non-sticky pair" `Quick (fun () ->
+        Alcotest.(check bool) "first is sticky" true (Stickiness.is_sticky sticky_pair);
+        Alcotest.(check bool) "second is not" false (Stickiness.is_sticky non_sticky_pair));
+    Alcotest.test_case "non-sticky witness names the doubled variable" `Quick (fun () ->
+        let m = Stickiness.marking non_sticky_pair in
+        match Stickiness.violation m with
+        | Some (_, v) -> Alcotest.(check string) "variable" "Y" v
+        | None -> Alcotest.fail "expected a violation");
+    Alcotest.test_case "Example 5.6 is guarded but not sticky" `Quick (fun () ->
+        Alcotest.(check bool) "guarded" true (Guardedness.is_guarded example_5_6);
+        Alcotest.(check bool) "not sticky" false (Stickiness.is_sticky example_5_6));
+    Alcotest.test_case "marking: base case marks dropped variables" `Quick (fun () ->
+        let tgds = parse "r(X,Y) -> s(X)." in
+        let m = Stickiness.marking tgds in
+        Alcotest.(check bool) "Y marked" true (Stickiness.is_marked m ~tgd_index:0 ~var:"Y");
+        Alcotest.(check bool) "X unmarked" false (Stickiness.is_marked m ~tgd_index:0 ~var:"X"));
+    Alcotest.test_case "marking propagates head-to-body" `Quick (fun () ->
+        (* X flows into position 0 of c, which s2 drops: X becomes marked *)
+        let tgds = parse "s1: a(X) -> exists Y. c(X,Y).\ns2: c(X,Y) -> a(Y)." in
+        let m = Stickiness.marking tgds in
+        Alcotest.(check bool) "X of s1 marked" true
+          (Stickiness.is_marked m ~tgd_index:0 ~var:"X"));
+    Alcotest.test_case "immortal positions: unmarked frontier variables" `Quick (fun () ->
+        (* In r(X,Y) → ∃Z r(X,Z): X is never dropped downstream, so the
+           head position 0 is immortal; position 1 is existential. *)
+        let tgds = parse "r(X,Y) -> exists Z. r(X,Z)." in
+        let m = Stickiness.marking tgds in
+        let imm = Stickiness.immortal_positions m 0 in
+        Alcotest.(check bool) "pos 0 immortal" true imm.(0);
+        Alcotest.(check bool) "pos 1 mortal" false imm.(1));
+    Alcotest.test_case "weak acyclicity: data exchange set is WA" `Quick (fun () ->
+        let tgds =
+          parse
+            "s1: emp(X) -> exists Y. reports(X,Y).\ns2: reports(X,Y) -> mgr(Y).\n\
+             s3: mgr(Y) -> person(Y)."
+        in
+        Alcotest.(check bool) "wa" true (Weak_acyclicity.is_weakly_acyclic tgds));
+    Alcotest.test_case "weak acyclicity: successor rule is not WA" `Quick (fun () ->
+        let tgds = parse "r(X,Y) -> exists Z. r(Y,Z)." in
+        Alcotest.(check bool) "not wa" false (Weak_acyclicity.is_weakly_acyclic tgds);
+        match Weak_acyclicity.violation tgds with
+        | Some ((p1, _), (p2, _)) ->
+            Alcotest.(check string) "from r" "r" p1;
+            Alcotest.(check string) "to r" "r" p2
+        | None -> Alcotest.fail "expected a special edge in a cycle");
+    Alcotest.test_case "WA certifies the restricted chase, not the oblivious one" `Quick
+      (fun () ->
+        (* r(X,Y) → ∃Z r(X,Z) is weakly acyclic (Y contributes no special
+           edge into a cycle): the restricted chase terminates on every
+           database, even though the oblivious chase diverges.  WA speaks
+           about the restricted chase. *)
+        let tgds = parse "r(X,Y) -> exists Z. r(X,Z)." in
+        Alcotest.(check bool) "wa" true (Weak_acyclicity.is_weakly_acyclic tgds));
+    Alcotest.test_case "WA is incomplete for CTres∀∀" `Quick (fun () ->
+        (* s1's head is satisfied by s1's own body atom, so the restricted
+           chase never fires it — terminating for every database — yet the
+           symmetry rule closes a cycle through s1's special edge, so the
+           set is not weakly acyclic. *)
+        let tgds = parse "s1: r(X,Y) -> exists Z. r(X,Z).\ns2: r(X,Y) -> r(Y,X)." in
+        Alcotest.(check bool) "not wa" false (Weak_acyclicity.is_weakly_acyclic tgds));
+    Alcotest.test_case "joint acyclicity strictly extends weak acyclicity" `Quick (fun () ->
+        (* the invented null can never reach bb, so the A/R/B loop is JA
+           although the position graph has a special cycle *)
+        let tgds = parse "a1: aa(X) -> exists V. rr(X,V).\na2: rr(X,Y), bb(Y) -> aa(Y)." in
+        Alcotest.(check bool) "not WA" false (Weak_acyclicity.is_weakly_acyclic tgds);
+        Alcotest.(check bool) "JA" true (Joint_acyclicity.is_jointly_acyclic tgds));
+    Alcotest.test_case "joint acyclicity rejects the successor rule" `Quick (fun () ->
+        let tgds = parse "r(X,Y) -> exists Z. r(Y,Z)." in
+        Alcotest.(check bool) "not JA" false (Joint_acyclicity.is_jointly_acyclic tgds);
+        match Joint_acyclicity.violation tgds with
+        | Some ev -> Alcotest.(check string) "the Z variable" "Z" ev.Joint_acyclicity.var
+        | None -> Alcotest.fail "expected a violation witness");
+    Alcotest.test_case "JA never certifies a diverging gallery set" `Quick (fun () ->
+        List.iter
+          (fun (s : Chase_workload.Scenarios.t) ->
+            if s.Chase_workload.Scenarios.truth = Chase_workload.Scenarios.Diverging then
+              Alcotest.(check bool)
+                (s.Chase_workload.Scenarios.name ^ " not JA")
+                false
+                (Joint_acyclicity.is_jointly_acyclic (Chase_workload.Scenarios.tgds s)))
+          Chase_workload.Scenarios.all);
+    Alcotest.test_case "classification report" `Quick (fun () ->
+        let r = Classification.classify example_5_6 in
+        Alcotest.(check bool) "single head" true r.Classification.single_head;
+        Alcotest.(check bool) "guarded" true r.Classification.guarded;
+        Alcotest.(check bool) "not sticky" false r.Classification.sticky;
+        Alcotest.(check bool) "not wa" false r.Classification.weakly_acyclic;
+        Alcotest.(check bool) "not linear" false r.Classification.linear;
+        Alcotest.(check int) "arity" 2 r.Classification.max_arity);
+    Alcotest.test_case "multi-head classification" `Quick (fun () ->
+        let tgds = parse "r(X,Y,Y) -> exists Z. r(X,Z,Y), r(Z,Y,Y)." in
+        let r = Classification.classify tgds in
+        Alcotest.(check bool) "multi-head" false r.Classification.single_head;
+        Alcotest.(check bool) "sticky is false for multi-head" false r.Classification.sticky);
+  ]
+
+let property_tests =
+  let cfg seed = { Chase_workload.Tgd_gen.default with Chase_workload.Tgd_gen.seed } in
+  let open QCheck2 in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"generated guarded sets are guarded" ~count:100 (Gen.int_bound 10_000)
+         (fun seed -> Guardedness.is_guarded (Chase_workload.Tgd_gen.guarded_set (cfg seed))));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"generated sticky sets are sticky" ~count:100 (Gen.int_bound 10_000)
+         (fun seed -> Stickiness.is_sticky (Chase_workload.Tgd_gen.sticky_set (cfg seed))));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"generated linear sets are linear (hence guarded)" ~count:100
+         (Gen.int_bound 10_000) (fun seed ->
+           let ts = Chase_workload.Tgd_gen.linear_set (cfg seed) in
+           Guardedness.is_linear ts && Guardedness.is_guarded ts));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"generated weakly acyclic sets are weakly acyclic" ~count:100
+         (Gen.int_bound 10_000) (fun seed ->
+           Weak_acyclicity.is_weakly_acyclic (Chase_workload.Tgd_gen.weakly_acyclic_set (cfg seed))));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"weak acyclicity implies joint acyclicity" ~count:150
+         (Gen.int_bound 100_000) (fun seed ->
+           let tgds =
+             match seed mod 3 with
+             | 0 -> Chase_workload.Tgd_gen.weakly_acyclic_set (cfg seed)
+             | 1 -> Chase_workload.Tgd_gen.guarded_set (cfg seed)
+             | _ -> Chase_workload.Tgd_gen.linear_set (cfg seed)
+           in
+           (not (Weak_acyclicity.is_weakly_acyclic tgds))
+           || Joint_acyclicity.is_jointly_acyclic tgds));
+  ]
+
+let suite = [ ("classes", unit_tests @ property_tests) ]

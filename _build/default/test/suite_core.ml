@@ -1,0 +1,170 @@
+(* Unit and property tests for the relational core (paper §2, App. A). *)
+
+open Chase_core
+
+let term = Alcotest.testable Term.pp Term.equal
+let atom = Alcotest.testable Atom.pp Atom.equal
+let instance = Alcotest.testable Instance.pp Instance.equal
+
+let a ?(p = "r") args = Atom.make p args
+let c x = Term.Const x
+let v x = Term.Var x
+let n x = Term.Null x
+
+let unit_tests =
+  [
+    Alcotest.test_case "term ordering groups constants, nulls, variables" `Quick (fun () ->
+        Alcotest.(check bool) "const < null" true (Term.compare (c "z") (n "a") < 0);
+        Alcotest.(check bool) "null < var" true (Term.compare (n "z") (v "a") < 0));
+    Alcotest.test_case "atom positions_of" `Quick (fun () ->
+        let at = a [ c "x"; c "y"; c "x" ] ~p:"t" in
+        Alcotest.(check (list int)) "positions" [ 0; 2 ] (Atom.positions_of at (c "x")));
+    Alcotest.test_case "is_fact and is_ground" `Quick (fun () ->
+        Alcotest.(check bool) "fact" true (Atom.is_fact (a [ c "x"; c "y" ]));
+        Alcotest.(check bool) "null not fact" false (Atom.is_fact (a [ c "x"; n "1" ]));
+        Alcotest.(check bool) "null ground" true (Atom.is_ground (a [ c "x"; n "1" ]));
+        Alcotest.(check bool) "var not ground" false (Atom.is_ground (a [ c "x"; v "X" ])));
+    Alcotest.test_case "substitution apply fixes constants" `Quick (fun () ->
+        let s = Substitution.bind (v "X") (c "a") Substitution.empty in
+        Alcotest.check term "var" (c "a") (Substitution.apply_term s (v "X"));
+        Alcotest.check term "const" (c "b") (Substitution.apply_term s (c "b")));
+    Alcotest.test_case "substitution bind rejects constants" `Quick (fun () ->
+        Alcotest.check_raises "invalid"
+          (Invalid_argument "Substitution.bind: constant in domain") (fun () ->
+            ignore (Substitution.bind (c "a") (c "b") Substitution.empty)));
+    Alcotest.test_case "unify consistency" `Quick (fun () ->
+        let s = Option.get (Substitution.unify (v "X") (c "a") Substitution.empty) in
+        Alcotest.(check bool) "conflict" true (Substitution.unify (v "X") (c "b") s = None);
+        Alcotest.(check bool) "agree" true (Substitution.unify (v "X") (c "a") s <> None));
+    Alcotest.test_case "instance dedup and index" `Quick (fun () ->
+        let i = Instance.of_list [ a [ c "x"; c "y" ]; a [ c "x"; c "y" ] ] in
+        Alcotest.(check int) "cardinal" 1 (Instance.cardinal i);
+        Alcotest.(check int) "with_pred" 1 (List.length (Instance.with_pred i "r"));
+        Alcotest.(check int) "missing pred" 0 (List.length (Instance.with_pred i "zz")));
+    Alcotest.test_case "active domain" `Quick (fun () ->
+        let i = Instance.of_list [ a [ c "x"; n "1" ] ] in
+        Alcotest.(check int) "dom" 2 (Term.Set.cardinal (Instance.active_domain i));
+        Alcotest.(check bool) "not db" false (Instance.is_database i));
+    Alcotest.test_case "homomorphism: body into instance" `Quick (fun () ->
+        let i = Instance.of_list [ a [ c "x"; c "y" ]; a [ c "y"; c "z" ] ] in
+        let body = [ a [ v "X"; v "Y" ]; a [ v "Y"; v "Z" ] ] in
+        let homs = List.of_seq (Homomorphism.all body i) in
+        (* X→x,Y→y,Z→z and X→.. any chain of length 2: (x,y,z) only, plus
+           degenerate matches via repeated atoms: (x,y)(y,z) and (y,z)(z,?) no *)
+        Alcotest.(check bool) "found" true (List.length homs >= 1);
+        List.iter
+          (fun h ->
+            List.iter
+              (fun b -> Alcotest.(check bool) "maps in" true
+                  (Instance.mem (Substitution.apply_atom h b) i))
+              body)
+          homs);
+    Alcotest.test_case "homomorphism respects frozen terms" `Quick (fun () ->
+        let target = a [ c "x"; c "y" ] in
+        let pattern = a [ n "u"; n "w" ] in
+        let free = Homomorphism.match_atom ~pattern ~target Substitution.empty in
+        Alcotest.(check bool) "free match" true (Option.is_some free);
+        let frozen = Term.Set.singleton (n "u") in
+        let fr = Homomorphism.match_atom ~frozen ~pattern ~target Substitution.empty in
+        Alcotest.(check bool) "frozen mismatch" true (Option.is_none fr));
+    Alcotest.test_case "isomorphism detects renamings" `Quick (fun () ->
+        let i1 = Instance.of_list [ a [ n "1"; n "2" ] ] in
+        let i2 = Instance.of_list [ a [ n "7"; n "8" ] ] in
+        let i3 = Instance.of_list [ a [ n "7"; n "7" ] ] in
+        Alcotest.(check bool) "iso" true (Homomorphism.isomorphic i1 i2);
+        Alcotest.(check bool) "not iso" false (Homomorphism.isomorphic i1 i3));
+    Alcotest.test_case "tgd frontier and existentials" `Quick (fun () ->
+        let t = Chase_parser.Parser.parse_tgd "r(X,Y) -> exists Z. t(X,Z,Z)." in
+        Alcotest.(check int) "frontier" 1 (Term.Set.cardinal (Tgd.frontier t));
+        Alcotest.(check int) "existential" 1 (Term.Set.cardinal (Tgd.existential_vars t));
+        Alcotest.(check (list int)) "frontier positions" [ 0 ] (Tgd.frontier_positions t));
+    Alcotest.test_case "tgd satisfaction" `Quick (fun () ->
+        let t = Chase_parser.Parser.parse_tgd "r(X,Y) -> exists Z. r(X,Z)." in
+        let i = Instance.of_list [ a [ c "x"; c "y" ] ] in
+        Alcotest.(check bool) "satisfied" true (Tgd.satisfied_by i t);
+        let t2 = Chase_parser.Parser.parse_tgd "r(X,Y) -> exists Z. r(Y,Z)." in
+        Alcotest.(check bool) "violated" false (Tgd.satisfied_by i t2));
+    Alcotest.test_case "tgd rejects constants" `Quick (fun () ->
+        match Tgd.make ~body:[ a [ c "k"; v "Y" ] ] ~head:[ a [ v "Y"; v "Y" ] ] () with
+        | exception Tgd.Ill_formed _ -> ()
+        | _ -> Alcotest.fail "expected Ill_formed");
+    Alcotest.test_case "schema arity conflict" `Quick (fun () ->
+        match Schema.add "r" 3 (Schema.add "r" 2 Schema.empty) with
+        | exception Schema.Arity_mismatch _ -> ()
+        | _ -> Alcotest.fail "expected Arity_mismatch");
+    Alcotest.test_case "equality types: partitions count Bell numbers" `Quick (fun () ->
+        List.iteri
+          (fun i expected ->
+            Alcotest.(check int)
+              (Printf.sprintf "B(%d)" i)
+              expected
+              (List.length (Equality_type.partitions i)))
+          [ 1; 1; 2; 5; 15 ]);
+    Alcotest.test_case "equality type of atom" `Quick (fun () ->
+        let at = a ~p:"t" [ c "x"; c "y"; c "x" ] in
+        let e = Equality_type.of_atom at in
+        Alcotest.(check bool) "0~2" true (Equality_type.same_class e 0 2);
+        Alcotest.(check bool) "0~1" false (Equality_type.same_class e 0 1);
+        Alcotest.(check int) "classes" 2 (Equality_type.num_classes e));
+    Alcotest.test_case "sideatom types" `Quick (fun () ->
+        let beta = Atom.make "g" [ c "a"; c "d"; c "c"; c "b" ] in
+        let alpha = Atom.make "p" [ c "a"; c "b"; c "c" ] in
+        let pis = Sideatom_type.all_of_pair alpha ~of_:beta in
+        Alcotest.(check bool) "exists" true (pis <> []);
+        List.iter
+          (fun pi ->
+            Alcotest.(check bool) "is_sideatom" true (Sideatom_type.is_sideatom pi alpha ~of_:beta);
+            Alcotest.check atom "project" alpha (Sideatom_type.project pi beta))
+          pis);
+    Alcotest.test_case "instance set algebra" `Quick (fun () ->
+        let i1 = Instance.of_list [ a [ c "x"; c "y" ] ] in
+        let i2 = Instance.of_list [ a [ c "y"; c "z" ] ] in
+        let u = Instance.union i1 i2 in
+        Alcotest.(check int) "union" 2 (Instance.cardinal u);
+        Alcotest.check instance "diff" i1 (Instance.diff u i2);
+        Alcotest.(check bool) "subset" true (Instance.subset i1 u));
+  ]
+
+let property_tests =
+  let open QCheck2 in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"compose applies right-to-left" ~count:200
+         (QCheck2.Gen.triple Tgen.substitution_gen Tgen.substitution_gen Tgen.var_term_gen)
+         (fun (s2, s1, t) ->
+           Term.equal
+             (Substitution.apply_term (Substitution.compose s2 s1) t)
+             (Substitution.apply_term s2 (Substitution.apply_term s1 t))));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"every found homomorphism maps the body into the instance" ~count:200
+         (QCheck2.Gen.pair
+            (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 2) Tgen.var_atom_gen)
+            Tgen.instance_gen)
+         (fun (body, inst) ->
+           Homomorphism.all body inst |> List.of_seq
+           |> List.for_all (fun h ->
+                  List.for_all (fun b -> Instance.mem (Substitution.apply_atom h b) inst) body)));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"equality type canonical roundtrip" ~count:200 Tgen.ground_atom_gen
+         (fun at ->
+           let e = Equality_type.of_atom at in
+           Equality_type.equal e (Equality_type.of_atom (Equality_type.canonical_atom e))));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"instance union is idempotent and commutative" ~count:200
+         (QCheck2.Gen.pair Tgen.instance_gen Tgen.instance_gen)
+         (fun (i1, i2) ->
+           Instance.equal (Instance.union i1 i2) (Instance.union i2 i1)
+           && Instance.equal (Instance.union i1 i1) i1));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"isomorphic instances are hom-equivalent" ~count:100 Tgen.instance_gen
+         (fun i ->
+           (* rename all nulls with a fixed bijection *)
+           let rn = function
+             | Term.Null x -> Term.Null ("z" ^ x)
+             | t -> t
+           in
+           let j = Instance.map (Atom.map rn) i in
+           Homomorphism.hom_equivalent i j));
+  ]
+
+let suite = [ ("core", unit_tests @ property_tests) ]

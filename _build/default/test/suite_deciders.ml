@@ -1,0 +1,172 @@
+(* Tests for the auxiliary deciders (linear critical-database, oblivious
+   critical-database) and cross-validation between independent decision
+   procedures — the strongest evidence we have that each is right. *)
+
+open Chase_termination
+open Chase_workload
+
+let parse = Chase_parser.Parser.parse_tgds
+
+let linear_tests =
+  [
+    Alcotest.test_case "fresh successor diverges" `Quick (fun () ->
+        match Linear_decider.decide (parse "r(X,Y) -> exists Z. r(Y,Z).") with
+        | Linear_decider.Non_terminating ev ->
+            Alcotest.(check int) "single-atom witness" 1
+              (Chase_core.Instance.cardinal ev.Linear_decider.database)
+        | _ -> Alcotest.fail "expected divergence");
+    Alcotest.test_case "intro example terminates" `Quick (fun () ->
+        match Linear_decider.decide (parse "r(X,Y) -> exists Z. r(X,Z).") with
+        | Linear_decider.All_terminating _ -> ()
+        | _ -> Alcotest.fail "expected termination");
+    Alcotest.test_case "diagonal guard: only the diagonal critical atom fires" `Quick
+      (fun () ->
+        (* r(X,X) → ∃Z r(X,Z): only the diagonal equality type produces a
+           trigger, and r(k,k) satisfies its own head — terminating. *)
+        let tgds = parse "r(X,X) -> exists Z. r(X,Z)." in
+        Alcotest.(check bool) "linear" true (Chase_classes.Guardedness.is_linear tgds);
+        match Linear_decider.decide tgds with
+        | Linear_decider.All_terminating _ -> ()
+        | _ -> Alcotest.fail "expected termination");
+    Alcotest.test_case "linear but not sticky: only the linear decider applies" `Quick
+      (fun () ->
+        (* the s-rule drops X, marking it back through r's first position,
+           so the repeated X in r(X,X) is marked — not sticky; the linear
+           decider still answers. *)
+        let tgds = parse "s1: r(X,X) -> s(X).\ns2: s(X) -> exists Z. r(Z,Z)." in
+        Alcotest.(check bool) "linear" true (Chase_classes.Guardedness.is_linear tgds);
+        Alcotest.(check bool) "not sticky" false (Chase_classes.Stickiness.is_sticky tgds);
+        match Linear_decider.decide tgds with
+        | Linear_decider.All_terminating _ -> ()
+        | Linear_decider.Non_terminating _ ->
+            (* r(k,k) → s(k) → r(Z,Z)?  s(k) fires only if no r(z,z) atom
+               exists — r(k,k) is one, so it never fires: terminating. *)
+            Alcotest.fail "expected termination"
+        | Linear_decider.Inconclusive m -> Alcotest.failf "inconclusive: %s" m);
+    Alcotest.test_case "diagonal-to-chain diverges" `Quick (fun () ->
+        (* r(X,X) → ∃Z s(X,Z); s(X,Y) → ∃Z s(Y,Z): only a diagonal atom
+           wakes the chain up. *)
+        let tgds = parse "r(X,X) -> exists Z. s(X,Z).\ns(X,Y) -> exists Z. s(Y,Z)." in
+        match Linear_decider.decide tgds with
+        | Linear_decider.Non_terminating _ -> ()
+        | _ -> Alcotest.fail "expected divergence");
+    Alcotest.test_case "non-linear input rejected" `Quick (fun () ->
+        Alcotest.check_raises "invalid" (Invalid_argument "Linear_decider: linear TGDs required")
+          (fun () -> ignore (Linear_decider.decide (parse "a(X), b(X) -> c(X)."))));
+    Alcotest.test_case "cross-validation: linear vs sticky decider on the gallery" `Quick
+      (fun () ->
+        List.iter
+          (fun (s : Scenarios.t) ->
+            let tgds = Scenarios.tgds s in
+            if
+              Scenarios.single_head s
+              && Chase_classes.Guardedness.is_linear tgds
+              && Chase_classes.Stickiness.is_sticky tgds
+            then
+              let lin = Linear_decider.decide tgds in
+              let stk = Sticky_decider.decide tgds in
+              match (lin, stk) with
+              | Linear_decider.All_terminating _, Sticky_decider.All_terminating -> ()
+              | Linear_decider.Non_terminating _, Sticky_decider.Non_terminating _ -> ()
+              | Linear_decider.Inconclusive _, _ | _, Sticky_decider.Inconclusive _ -> ()
+              | _ ->
+                  Alcotest.failf "deciders disagree on %s" s.Scenarios.name)
+          Scenarios.all);
+  ]
+
+(* Property: on random linear ∧ sticky sets, the single-atom critical
+   database search and the Büchi automaton agree.  Two completely
+   independent procedures — agreement on hundreds of random inputs is
+   strong evidence for both. *)
+let cross_validation_property =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"linear and sticky deciders agree on random sticky-linear sets"
+       ~count:60 (QCheck2.Gen.int_bound 100_000) (fun seed ->
+         let tgds =
+           Tgd_gen.sticky_set
+             { Tgd_gen.default with Tgd_gen.seed; tgds = 3; predicates = 3; max_arity = 2 }
+         in
+         if not (Chase_classes.Guardedness.is_linear tgds) then true
+         else
+           match (Linear_decider.decide tgds, Sticky_decider.decide tgds) with
+           | Linear_decider.All_terminating _, Sticky_decider.All_terminating -> true
+           | Linear_decider.Non_terminating _, Sticky_decider.Non_terminating _ -> true
+           | Linear_decider.Inconclusive _, _ -> true
+           | _, Sticky_decider.Inconclusive _ -> true
+           | Linear_decider.All_terminating _, Sticky_decider.Non_terminating cert ->
+               (* a validated caterpillar overrules the budgeted search *)
+               Sticky_decider.check_certificate tgds cert <> Ok ()
+           | Linear_decider.Non_terminating _, Sticky_decider.All_terminating -> false))
+
+(* Soundness property for the sticky decider's "terminating" answers:
+   when L(A_T) = ∅, no candidate database (frozen bodies under all
+   partitions, critical database, unions) may show divergence evidence.
+   An unsound "empty" verdict would be caught here. *)
+let sticky_terminating_soundness =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"sticky 'terminating' verdicts survive candidate-database search"
+       ~count:50 (QCheck2.Gen.int_bound 100_000) (fun seed ->
+         let tgds =
+           Tgd_gen.sticky_set
+             { Tgd_gen.default with Tgd_gen.seed; tgds = 4; predicates = 3; max_arity = 2 }
+         in
+         match Sticky_decider.decide tgds with
+         | Sticky_decider.Non_terminating _ | Sticky_decider.Inconclusive _ -> true
+         | Sticky_decider.All_terminating ->
+             (* sweep the same candidate family the guarded decider uses *)
+             List.for_all
+               (fun db ->
+                 Derivation_search.divergence_evidence ~max_depth:60 ~max_states:3_000 tgds db
+                 = None)
+               (List.concat_map Guarded_decider.frozen_bodies_all_partitions tgds)))
+
+let oblivious_tests =
+  [
+    Alcotest.test_case "intro example separates CTres from CTobl" `Quick (fun () ->
+        let tgds = parse "r(X,Y) -> exists Z. r(X,Z)." in
+        (match Oblivious_decider.decide tgds with
+        | Oblivious_decider.Diverging_on_critical _ -> ()
+        | Oblivious_decider.All_terminating _ -> Alcotest.fail "oblivious should diverge");
+        match Sticky_decider.decide tgds with
+        | Sticky_decider.All_terminating -> ()
+        | _ -> Alcotest.fail "restricted should terminate");
+    Alcotest.test_case "weakly acyclic set: oblivious terminates too" `Quick (fun () ->
+        let tgds =
+          parse
+            "s1: emp(X) -> exists Y. reports(X,Y).\ns2: reports(X,Y) -> mgr(Y).\n\
+             s3: mgr(Y) -> person(Y)."
+        in
+        match Oblivious_decider.decide tgds with
+        | Oblivious_decider.All_terminating _ -> ()
+        | Oblivious_decider.Diverging_on_critical _ -> Alcotest.fail "expected termination");
+    Alcotest.test_case "semi-oblivious terminates where oblivious does not" `Quick
+      (fun () ->
+        (* r(X,Y) → ∃Z r(X,Z) on r(c,c): the oblivious chase re-fires for
+           every fresh Y-binding; the semi-oblivious chase identifies
+           triggers agreeing on the frontier {X→c} and stops after one
+           application — the classic oblivious/semi-oblivious separation. *)
+        let tgds = parse "r(X,Y) -> exists Z. r(X,Z)." in
+        (match Oblivious_decider.decide ~variant:Chase_engine.Oblivious.Semi_oblivious tgds with
+        | Oblivious_decider.All_terminating _ -> ()
+        | Oblivious_decider.Diverging_on_critical _ ->
+            Alcotest.fail "semi-oblivious should saturate on the critical database"));
+    Alcotest.test_case "Example 5.6: the critical database is not critical for the \
+                        restricted chase (§1.2)" `Quick (fun () ->
+        let tgds =
+          parse
+            "s1: s(X,Y) -> t(X).\ns2: r(X,Y), t(Y) -> p(X,Y).\ns3: p(X,Y) -> exists Z. p(Y,Z)."
+        in
+        (* the restricted chase terminates on D* … *)
+        Alcotest.(check bool) "terminates on critical" true
+          (Oblivious_decider.restricted_terminates_on_critical tgds);
+        (* … yet the set diverges on another database *)
+        match Guarded_decider.decide tgds with
+        | Guarded_decider.Non_terminating _ -> ()
+        | _ -> Alcotest.fail "expected divergence elsewhere");
+  ]
+
+let suite =
+  [
+    ("linear-decider", linear_tests @ [ cross_validation_property; sticky_terminating_soundness ]);
+    ("oblivious-decider", oblivious_tests);
+  ]

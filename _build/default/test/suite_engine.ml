@@ -1,0 +1,145 @@
+(* Tests for the chase engines (paper §3). *)
+
+open Chase_core
+open Chase_engine
+
+let parse = Chase_parser.Parser.parse_program
+let instance = Alcotest.testable Instance.pp Instance.equal
+
+let program src =
+  let p = parse src in
+  (Chase_parser.Program.tgds p, Chase_parser.Program.database p)
+
+let unit_tests =
+  [
+    Alcotest.test_case "intro example: restricted adds nothing, oblivious diverges" `Quick
+      (fun () ->
+        let tgds, db = program "r(X,Y) -> exists Z. r(X,Z).\nr(a,b)." in
+        let d = Restricted.run tgds db in
+        Alcotest.(check bool) "terminated" true (Derivation.terminated d);
+        Alcotest.(check int) "no growth" 0 (Derivation.growth d);
+        let ob = Oblivious.run ~max_steps:50 tgds db in
+        Alcotest.(check bool) "oblivious does not saturate" false ob.Oblivious.saturated);
+    Alcotest.test_case "restricted chase result is a model" `Quick (fun () ->
+        let tgds, db =
+          program
+            "s1: p(X,Y) -> r(X,Y).\ns2: p(X,Y) -> s(X).\ns3: r(X,Y) -> s(X).\n\
+             s4: s(X) -> exists Y. r(X,Y).\np(a,b)."
+        in
+        let final = Restricted.run_exn tgds db in
+        Alcotest.(check bool) "model" true (Model_check.is_model ~database:db ~tgds final));
+    Alcotest.test_case "restricted result maps into oblivious result" `Quick (fun () ->
+        let tgds, db =
+          program
+            "s1: p(X,Y) -> r(X,Y).\ns2: p(X,Y) -> s(X).\ns3: r(X,Y) -> s(X).\n\
+             s4: s(X) -> exists Y. r(X,Y).\np(a,b)."
+        in
+        let fin = Restricted.run_exn tgds db in
+        let ob = Oblivious.run tgds db in
+        Alcotest.(check bool) "saturated" true ob.Oblivious.saturated;
+        Alcotest.(check bool) "hom both ways" true
+          (Model_check.hom_equivalent fin ob.Oblivious.instance);
+        Alcotest.(check bool) "restricted smaller" true
+          (Instance.cardinal fin <= Instance.cardinal ob.Oblivious.instance));
+    Alcotest.test_case "semi-oblivious between restricted and oblivious" `Quick (fun () ->
+        let tgds, db = program "s(X) -> exists Y. r(X,Y).\nr(X,Y) -> s(X).\ns(a)." in
+        let ob = Oblivious.run tgds db in
+        let sob = Oblivious.run ~variant:Oblivious.Semi_oblivious tgds db in
+        Alcotest.(check bool) "both saturate" true
+          (ob.Oblivious.saturated && sob.Oblivious.saturated);
+        Alcotest.(check bool) "semi ≤ oblivious" true
+          (Instance.cardinal sob.Oblivious.instance <= Instance.cardinal ob.Oblivious.instance));
+    Alcotest.test_case "derivations validate" `Quick (fun () ->
+        let tgds, db =
+          program "s1: n(X) -> exists Y. e(X,Y).\ns2: e(X,Y) -> n(X).\nn(a). n(b)."
+        in
+        let d = Restricted.run tgds db in
+        Alcotest.(check bool) "valid" true (Derivation.validate tgds d));
+    Alcotest.test_case "strategies agree on termination status (single-head, terminating)"
+      `Quick (fun () ->
+        let tgds, db =
+          program
+            "s1: emp(X) -> exists Y. reports(X,Y).\ns2: reports(X,Y) -> mgr(Y).\n\
+             s3: mgr(Y) -> person(Y).\nemp(alice). emp(bob)."
+        in
+        let check s =
+          let d = Restricted.run ~strategy:s tgds db in
+          Derivation.terminated d
+        in
+        Alcotest.(check bool) "fifo" true (check Restricted.Fifo);
+        Alcotest.(check bool) "lifo" true (check Restricted.Lifo);
+        Alcotest.(check bool) "random" true (check (Restricted.Random 7)));
+    Alcotest.test_case "canonical naming makes runs order-insensitive" `Quick (fun () ->
+        let tgds, db =
+          program "s1: n(X) -> exists Y. e(X,Y).\ns2: e(X,Y) -> m(Y).\nn(a). n(b)."
+        in
+        let f1 = Restricted.run_exn ~naming:`Canonical ~strategy:Restricted.Fifo tgds db in
+        let f2 = Restricted.run_exn ~naming:`Canonical ~strategy:Restricted.Lifo tgds db in
+        Alcotest.check instance "same instance" f1 f2);
+    Alcotest.test_case "real oblivious chase: Example 3.2 has two copies of S(a)" `Quick
+      (fun () ->
+        let tgds, db =
+          program
+            "s1: p(X,Y) -> r(X,Y).\ns2: p(X,Y) -> s(X).\ns3: r(X,Y) -> s(X).\n\
+             s4: s(X) -> exists Y. r(X,Y).\np(a,b)."
+        in
+        let g = Real_oblivious.build ~max_depth:3 ~max_nodes:500 tgds db in
+        let s_a = Atom.make "s" [ Term.Const "a" ] in
+        Alcotest.(check bool) "multiset: ≥ 2 copies of s(a)" true (Real_oblivious.copies g s_a >= 2);
+        (* the set of atoms coincides with the oblivious chase *)
+        let ob = Oblivious.run ~max_steps:1000 tgds db in
+        Alcotest.(check bool) "atoms ⊆ oblivious" true
+          (Instance.subset (Real_oblivious.atom_set g)
+             ob.Oblivious.instance));
+    Alcotest.test_case "real oblivious: parents aligned with body order" `Quick (fun () ->
+        let tgds, db = program "s1: r(X,Y), t(Y) -> exists Z. p(X,Z).\nr(a,b). t(b)." in
+        let g = Real_oblivious.build tgds db in
+        let produced =
+          Array.to_list (Real_oblivious.nodes g)
+          |> List.filter (fun n -> n.Real_oblivious.origin <> None)
+        in
+        Alcotest.(check int) "one node" 1 (List.length produced);
+        let n = List.hd produced in
+        Alcotest.(check int) "two parents" 2 (Array.length n.Real_oblivious.parents);
+        let p0 = Real_oblivious.node g n.Real_oblivious.parents.(0) in
+        Alcotest.(check string) "first parent is the r atom" "r"
+          (Atom.pred p0.Real_oblivious.atom));
+    Alcotest.test_case "multi-head trigger application shares witnesses" `Quick (fun () ->
+        let tgds, db = program "r(X,Y,Y) -> exists Z. r(X,Z,Y), r(Z,Y,Y).\nr(a,b,b)." in
+        let d = Restricted.run ~max_steps:1 tgds db in
+        match Derivation.steps d with
+        | [ s ] -> (
+            match s.Derivation.produced with
+            | [ a1; a2 ] ->
+                (* the Z in both atoms is the same null *)
+                Alcotest.(check bool) "shared null" true
+                  (Term.equal (Atom.arg a1 1) (Atom.arg a2 0))
+            | _ -> Alcotest.fail "expected two produced atoms")
+        | _ -> Alcotest.fail "expected one step");
+  ]
+
+(* Fact 3.5: the head-extension activeness test coincides with the
+   stop-relation test, on random instances and TGDs. *)
+let property_tests =
+  let open QCheck2 in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"Fact 3.5: is_active ⟺ no stopper (single-head)" ~count:300
+         (QCheck2.Gen.pair Tgen.tgd_gen Tgen.instance_gen)
+         (fun (tgd, inst) ->
+           Trigger.all [ tgd ] inst
+           |> Seq.for_all (fun tr ->
+                  Bool.equal (Trigger.is_active inst tr) (Stop.is_active_via_stop inst tr))));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"terminated restricted chase satisfies the TGDs" ~count:100
+         (QCheck2.Gen.pair
+            (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 2) Tgen.tgd_gen)
+            Tgen.instance_gen)
+         (fun (tgds, inst) ->
+           (* ground the instance: keep only a database-like fragment *)
+           let db = Instance.filter Atom.is_ground inst in
+           let d = Restricted.run ~max_steps:200 tgds db in
+           (not (Derivation.terminated d)) || Tgd.satisfied_by_all (Derivation.final d) tgds));
+  ]
+
+let suite = [ ("engine", unit_tests @ property_tests) ]

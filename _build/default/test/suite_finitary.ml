@@ -1,0 +1,103 @@
+(* Tests for the §6.3–§6.4 pipeline: caterpillar words simulated on A_T,
+   uniform connectedness of lasso unrollings (Observation 1), and the
+   Lemma 6.13 finitarization. *)
+
+open Chase_termination
+
+let parse = Chase_parser.Parser.parse_tgds
+
+let with_certificate tgds f =
+  match Sticky_decider.decide ~unroll_turns:6 tgds with
+  | Sticky_decider.Non_terminating cert -> f cert
+  | Sticky_decider.All_terminating -> Alcotest.fail "expected non-termination"
+  | Sticky_decider.Inconclusive m -> Alcotest.failf "inconclusive: %s" m
+
+let legs_set = parse "s1: p(X,Y), u(W) -> exists Z. p(Y,Z)."
+let successor = parse "r(X,Y) -> exists Z. r(Y,Z)."
+
+let unit_tests =
+  [
+    Alcotest.test_case "lassos simulate on A_T and keep accepting" `Quick (fun () ->
+        with_certificate successor (fun cert ->
+            let ctx = Sticky_automaton.make_context successor in
+            let word =
+              cert.Sticky_decider.lasso.Chase_automata.Buchi.prefix
+              @ List.concat
+                  (List.init 4 (fun _ -> cert.Sticky_decider.lasso.Chase_automata.Buchi.cycle))
+            in
+            match
+              Sticky_automaton.simulate ctx ~start_et:cert.Sticky_decider.start_et
+                ~start_class:cert.Sticky_decider.start_class word
+            with
+            | None -> Alcotest.fail "the lasso word fell into the reject sink"
+            | Some s -> Alcotest.(check bool) "last step is a pass-on" true s.Sticky_automaton.pass));
+    Alcotest.test_case "corrupted words are rejected" `Quick (fun () ->
+        with_certificate successor (fun cert ->
+            let ctx = Sticky_automaton.make_context successor in
+            let cycle = cert.Sticky_decider.lasso.Chase_automata.Buchi.cycle in
+            (* repeat a pass-on letter with an empty pass-on set: the relay
+               term dies (δpos of a dropped Π₁), or the stop check fires *)
+            let stutter =
+              List.map
+                (fun (l : Sticky_automaton.letter) -> { l with Sticky_automaton.pass_on = [] })
+                cycle
+            in
+            let word =
+              cert.Sticky_decider.lasso.Chase_automata.Buchi.prefix
+              @ stutter @ stutter @ stutter @ stutter
+            in
+            match
+              Sticky_automaton.simulate ctx ~start_et:cert.Sticky_decider.start_et
+                ~start_class:cert.Sticky_decider.start_class word
+            with
+            | None -> ()
+            | Some s ->
+                (* if not rejected, it must at least never accept again *)
+                Alcotest.(check bool) "no pass-on" false s.Sticky_automaton.pass));
+    Alcotest.test_case "lasso unrollings are uniformly connected (Observation 1)" `Quick
+      (fun () ->
+        with_certificate legs_set (fun cert ->
+            let cycle_len =
+              List.length cert.Sticky_decider.lasso.Chase_automata.Buchi.cycle
+            in
+            let prefix_len =
+              List.length cert.Sticky_decider.lasso.Chase_automata.Buchi.prefix
+            in
+            Alcotest.(check bool) "gaps bounded by the lasso size" true
+              (Caterpillar.is_uniformly_connected
+                 ~bound:(max 1 (prefix_len + cycle_len))
+                 cert.Sticky_decider.prefix)));
+    Alcotest.test_case "finitarization collapses growing legs (Lemma 6.13)" `Quick (fun () ->
+        with_certificate legs_set (fun cert ->
+            let cat = cert.Sticky_decider.prefix in
+            let before = Chase_core.Instance.cardinal (Caterpillar.legs cat) in
+            Alcotest.(check bool) "legs grew with the unrolling" true (before >= 5);
+            match Finitary.finitarize_checked legs_set cat with
+            | Error e -> Alcotest.failf "finitarization failed: %s" e
+            | Ok (cat', stats) ->
+                Alcotest.(check bool) "legs collapsed" true
+                  (stats.Finitary.leg_atoms_after < before);
+                Alcotest.(check bool) "bounded vocabulary" true
+                  (stats.Finitary.leg_terms_after <= (2 * stats.Finitary.bank_size) + 4);
+                Alcotest.(check int) "same body length" (Caterpillar.length cat)
+                  (Caterpillar.length cat')));
+    Alcotest.test_case "finitarization is the identity on leg-free caterpillars" `Quick
+      (fun () ->
+        with_certificate successor (fun cert ->
+            let cat = cert.Sticky_decider.prefix in
+            match Finitary.finitarize_checked successor cat with
+            | Error e -> Alcotest.failf "failed: %s" e
+            | Ok (_, stats) ->
+                Alcotest.(check int) "no legs before" 0 stats.Finitary.leg_atoms_before;
+                Alcotest.(check int) "no legs after" 0 stats.Finitary.leg_atoms_after));
+    Alcotest.test_case "sticky-with-legs scenario diverges with legs in the certificate"
+      `Quick (fun () ->
+        with_certificate legs_set (fun cert ->
+            Alcotest.(check bool) "has legs" true
+              (not (Chase_core.Instance.is_empty (Caterpillar.legs cert.Sticky_decider.prefix)));
+            match Sticky_decider.check_certificate legs_set cert with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "certificate invalid: %s" e));
+  ]
+
+let suite = [ ("finitary-and-words", unit_tests) ]

@@ -1,0 +1,195 @@
+(* Tests for the explicit MSOL sentence φ_T of Lemma 5.12. *)
+
+open Chase_termination
+
+let parse = Chase_parser.Parser.parse_tgds
+
+let linear = parse "r(X,Y) -> exists Z. r(Y,Z)."
+
+let example_5_6 =
+  parse
+    "s1: s(X,Y) -> t(X).\ns2: r(X,Y), t(Y) -> p(X,Y).\ns3: p(X,Y) -> exists Z. p(Y,Z)."
+
+let unit_tests =
+  [
+    Alcotest.test_case "φ_T is a closed sentence" `Quick (fun () ->
+        Alcotest.(check bool) "closed (linear)" true (Msol.is_closed (Msol.phi_t linear));
+        Alcotest.(check bool) "closed (Ex. 5.6)" true (Msol.is_closed (Msol.phi_t example_5_6)));
+    Alcotest.test_case "Λ_T size: predicates × origins × partitions" `Quick (fun () ->
+        (* linear: 1 predicate, 2 origins (F, σ₀), Bell(4)=15 partitions *)
+        Alcotest.(check int) "1·2·15" 30 (Msol.alphabet_size linear));
+    Alcotest.test_case "the sentence uses both quantifier orders" `Quick (fun () ->
+        let fo, so = Msol.quantifier_count (Msol.phi_t linear) in
+        Alcotest.(check bool) "first-order" true (fo > 0);
+        Alcotest.(check bool) "second-order" true (so > 0));
+    Alcotest.test_case "φ_T grows with the TGD set" `Quick (fun () ->
+        let s1 = Msol.size (Msol.phi_t linear) in
+        let s2 = Msol.size (Msol.phi_t example_5_6) in
+        Alcotest.(check bool) "bigger set, bigger sentence" true (s2 > s1));
+    Alcotest.test_case "auxiliary formulas are well-scoped" `Quick (fun () ->
+        let ctx = Msol.make_context linear in
+        let close2 v f = Msol.Forall2 (v, f) in
+        let close v f = Msol.Forall1 (v, f) in
+        Alcotest.(check bool) "ϕ_fin" true (Msol.is_closed (close2 "A" (Msol.phi_fin "A")));
+        Alcotest.(check bool) "ϕ_s" true
+          (Msol.is_closed (close "x" (close "y" (Msol.phi_s ctx "x" "y"))));
+        Alcotest.(check bool) "ψ_b" true
+          (Msol.is_closed (close "x" (close "y" (Msol.psi_b ctx "x" "y"))));
+        Alcotest.(check bool) "ϕ_b" true
+          (Msol.is_closed (close "x" (close "y" (Msol.phi_b ctx "x" "y")))));
+    Alcotest.test_case "unguarded sets are rejected" `Quick (fun () ->
+        let unguarded = parse "a(X,Y), b(Y,Z) -> c(X,Z)." in
+        Alcotest.check_raises "invalid" (Invalid_argument "Msol.phi_t: guarded TGDs required")
+          (fun () -> ignore (Msol.phi_t unguarded)));
+    Alcotest.test_case "eq_related reads the flattened partition" `Quick (fun () ->
+        (* ar = 1: slots are (f,0),(m,0); partition [0;0] relates them *)
+        let l =
+          { Msol.l_pred = "p"; l_org = Abstract_join_tree.F; l_eq = [| 0; 0 |] }
+        in
+        Alcotest.(check bool) "related" true
+          (Msol.eq_related ~ar:1 l (Msol.F_side, 0) (Msol.M_side, 0));
+        let l2 =
+          { Msol.l_pred = "p"; l_org = Abstract_join_tree.F; l_eq = [| 0; 1 |] }
+        in
+        Alcotest.(check bool) "unrelated" false
+          (Msol.eq_related ~ar:1 l2 (Msol.F_side, 0) (Msol.M_side, 0)));
+  ]
+
+(* Semantic validation of the Lemma 5.12 formulas: evaluate them on a
+   small finite abstract join tree and compare with the ground truth
+   computed directly from the decoded instance. *)
+let semantic_tests =
+  let setup () =
+    let tgds = example_5_6 in
+    let p =
+      Chase_parser.Parser.parse_program
+        "s1: s(X,Y) -> t(X).\ns2: r(X,Y), t(Y) -> p(X,Y).\n\
+         s3: p(X,Y) -> exists Z. p(Y,Z).\nr(a,b). s(b,c)."
+    in
+    let db = Chase_parser.Program.database p in
+    let d = Chase_engine.Restricted.run ~naming:`Canonical ~max_steps:2 tgds db in
+    match Abstract_join_tree.encode tgds ~database:db d with
+    | Error e -> Alcotest.failf "setup failed: %s" e
+    | Ok t ->
+        let ctx = Msol.make_context tgds in
+        let schema = Chase_core.Schema.of_tgds tgds in
+        let ar = Chase_core.Schema.max_arity schema in
+        let tree = Msol_eval.of_abstract_join_tree ~ar t in
+        let atoms = Abstract_join_tree.atoms_with_ids t in
+        (tgds, ctx, ar, tree, atoms)
+  in
+  [
+    Alcotest.test_case "ϕ^{i,j}_= agrees with decoded term equality" `Quick (fun () ->
+        let _, ctx, ar, tree, atoms = setup () in
+        List.iter
+          (fun (xid, xa) ->
+            List.iter
+              (fun (yid, ya) ->
+                for i = 0 to Chase_core.Atom.arity xa - 1 do
+                  for j = 0 to Chase_core.Atom.arity ya - 1 do
+                    let truth =
+                      Chase_core.Term.equal (Chase_core.Atom.arg xa i)
+                        (Chase_core.Atom.arg ya j)
+                    in
+                    let formula = Msol.phi_eq ctx i j "x" "y" in
+                    let sym =
+                      Msol_eval.eval ~fo:[ ("x", xid); ("y", yid) ] ~ar tree formula
+                    in
+                    if truth <> sym then
+                      Alcotest.failf "ϕ_= disagrees at (%d.%d, %d.%d): truth %b, formula %b"
+                        xid i yid j truth sym
+                  done
+                done)
+              atoms)
+          atoms);
+    Alcotest.test_case "ϕ_s agrees with the concrete stop relation" `Quick (fun () ->
+        let tgds, ctx, ar, tree, atoms = setup () in
+        let tgds_arr = Array.of_list tgds in
+        (* recompute ground truth from the decoded atoms: y generated by
+           σᵣ; x stops y iff a frontier-fixing hom maps δ(y) onto δ(x) *)
+        let node_org id =
+          (* node ids are pre-order; recompute from the tree structure by
+             evaluating the org label disjunction *)
+          List.find_map
+            (fun r ->
+              if
+                Msol_eval.eval ~fo:[ ("y", id) ] ~ar tree
+                  (Msol.conj [ Msol.Eq ("y", "y") ])
+                && Msol_eval.eval ~fo:[ ("y", id) ] ~ar tree
+                     (* org(y) = σ_r? *)
+                     (Msol.disj
+                        (List.filter_map
+                           (fun (l : Msol.label) ->
+                             if l.Msol.l_org = Abstract_join_tree.Rule r then
+                               Some (Msol.Label (l, "y"))
+                             else None)
+                           (Msol.alphabet tgds)))
+              then Some r
+              else None)
+            (List.init (Array.length tgds_arr) Fun.id)
+        in
+        List.iter
+          (fun (yid, ya) ->
+            match node_org yid with
+            | None -> () (* an F node: ϕ_s is false for it by construction *)
+            | Some r ->
+                let tgd = tgds_arr.(r) in
+                let frontier =
+                  List.fold_left
+                    (fun acc i -> Chase_core.Term.Set.add (Chase_core.Atom.arg ya i) acc)
+                    Chase_core.Term.Set.empty
+                    (Chase_core.Tgd.frontier_positions tgd)
+                in
+                List.iter
+                  (fun (xid, xa) ->
+                    if xid <> yid then begin
+                      let truth =
+                        Chase_engine.Stop.stops ~frontier ~candidate:xa ~result:ya
+                      in
+                      let sym =
+                        Msol_eval.eval ~fo:[ ("x", xid); ("y", yid) ] ~ar tree
+                          (Msol.phi_s ctx "x" "y")
+                      in
+                      if truth <> sym then
+                        Alcotest.failf "ϕ_s disagrees at (%d stops %d): truth %b, formula %b"
+                          xid yid truth sym
+                    end)
+                  atoms)
+          atoms);
+    Alcotest.test_case "ϕ_π agrees with the concrete sideatom relation" `Quick (fun () ->
+        let _, ctx, ar, tree, atoms = setup () in
+        List.iter
+          (fun (xid, xa) ->
+            List.iter
+              (fun (yid, ya) ->
+                List.iter
+                  (fun pi ->
+                    let truth = Chase_core.Sideatom_type.is_sideatom pi xa ~of_:ya in
+                    let sym =
+                      Msol_eval.eval ~fo:[ ("x", xid); ("y", yid) ] ~ar tree
+                        (Msol.phi_pi ctx pi "x" "y")
+                    in
+                    if truth <> sym then
+                      Alcotest.failf "ϕ_π disagrees at (%d ⊆π %d): truth %b, formula %b" xid
+                        yid truth sym)
+                  (Chase_core.Sideatom_type.all_of_pair xa ~of_:ya))
+              atoms)
+          atoms);
+    Alcotest.test_case "ψ_b includes edges and database-first pairs" `Quick (fun () ->
+        let _, ctx, ar, tree, atoms = setup () in
+        (* the root (id 0, an F node) is ≺b-before every generated node *)
+        List.iter
+          (fun (yid, _) ->
+            if yid <> 0 then begin
+              let sym =
+                Msol_eval.eval ~fo:[ ("x", 0); ("y", yid) ] ~ar tree (Msol.psi_b ctx "x" "y")
+              in
+              (* 0 is an F node: ψ_b holds whenever y is generated; it
+                 also holds for F children via the tree edge *)
+              if not sym then
+                Alcotest.failf "ψ_b misses the database-first/edge pair (0, %d)" yid
+            end)
+          atoms);
+  ]
+
+let suite = [ ("msol", unit_tests); ("msol-semantics", semantic_tests) ]

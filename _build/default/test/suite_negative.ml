@@ -1,0 +1,184 @@
+(* Negative tests: the validators must actually reject corrupted
+   certificates — a validator that accepts everything would silently
+   void half the suite's positive evidence. *)
+
+open Chase_core
+open Chase_engine
+open Chase_termination
+
+let program src =
+  let p = Chase_parser.Parser.parse_program src in
+  (Chase_parser.Program.tgds p, Chase_parser.Program.database p)
+
+let example_5_6 =
+  "s1: s(X,Y) -> t(X).\ns2: r(X,Y), t(Y) -> p(X,Y).\ns3: p(X,Y) -> exists Z. p(Y,Z).\n\
+   r(a,b). s(b,c)."
+
+(* A valid encoded abstract join tree to corrupt. *)
+let valid_tree () =
+  let tgds, db = program example_5_6 in
+  let d = Restricted.run ~naming:`Canonical ~max_steps:5 tgds db in
+  match Abstract_join_tree.encode tgds ~database:db d with
+  | Ok t -> (tgds, t)
+  | Error e -> Alcotest.failf "setup failed: %s" e
+
+let rec corrupt_first_rule_pred (n : Abstract_join_tree.node) =
+  match n.Abstract_join_tree.org with
+  | Abstract_join_tree.Rule _ -> { n with Abstract_join_tree.pr = "zz_wrong" }
+  | Abstract_join_tree.F ->
+      {
+        n with
+        Abstract_join_tree.children =
+          (match n.Abstract_join_tree.children with
+          | c :: rest -> corrupt_first_rule_pred c :: rest
+          | [] -> []);
+      }
+
+let rec corrupt_first_rule_to_f (n : Abstract_join_tree.node) =
+  match n.Abstract_join_tree.org with
+  | Abstract_join_tree.Rule _ -> (
+      (* make a generated node an F node with an F child's parent being
+         generated: violates Def 5.8 (2) when it has F below — instead,
+         just relabel a generated child under a generated parent as F *)
+      match n.Abstract_join_tree.children with
+      | c :: rest -> { n with Abstract_join_tree.children = ({ c with Abstract_join_tree.org = Abstract_join_tree.F } :: rest) }
+      | [] -> n)
+  | Abstract_join_tree.F ->
+      {
+        n with
+        Abstract_join_tree.children =
+          List.map corrupt_first_rule_to_f n.Abstract_join_tree.children;
+      }
+
+let abstract_tests =
+  [
+    Alcotest.test_case "validate rejects wrong head predicates" `Quick (fun () ->
+        let tgds, t = valid_tree () in
+        let t' = corrupt_first_rule_pred t in
+        match Abstract_join_tree.validate tgds t' with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "corrupted tree accepted");
+    Alcotest.test_case "validate rejects F nodes below generated nodes" `Quick (fun () ->
+        let tgds, t = valid_tree () in
+        let t' = corrupt_first_rule_to_f t in
+        if t' = t then () (* nothing to corrupt in this shape *)
+        else
+          match Abstract_join_tree.validate tgds t' with
+          | Error _ -> ()
+          | Ok () -> Alcotest.fail "corrupted tree accepted");
+  ]
+
+(* A valid caterpillar to corrupt. *)
+let valid_cat () =
+  let tgds = Chase_parser.Parser.parse_tgds "r(X,Y) -> exists Z. r(Y,Z)." in
+  match Sticky_decider.decide tgds with
+  | Sticky_decider.Non_terminating cert -> (tgds, cert.Sticky_decider.prefix)
+  | _ -> Alcotest.fail "setup failed"
+
+let caterpillar_tests =
+  [
+    Alcotest.test_case "validate_proto rejects stale existential witnesses" `Quick (fun () ->
+        let tgds, cat = valid_cat () in
+        (* duplicate an earlier null at a fresh position *)
+        let steps = Caterpillar.steps cat in
+        let corrupted =
+          match steps with
+          | s1 :: s2 :: rest ->
+              let stolen = Atom.arg s1.Caterpillar.atom 1 in
+              let atom' =
+                Atom.make_a
+                  (Atom.pred s2.Caterpillar.atom)
+                  [| Atom.arg s2.Caterpillar.atom 0; stolen |]
+              in
+              { cat with Caterpillar.steps = s1 :: { s2 with Caterpillar.atom = atom' } :: rest }
+          | _ -> Alcotest.fail "setup: too short"
+        in
+        match Caterpillar.validate_proto tgds corrupted with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "corrupted caterpillar accepted");
+    Alcotest.test_case "validate_stops rejects duplicated body atoms" `Quick (fun () ->
+        let tgds, cat = valid_cat () in
+        ignore tgds;
+        (* copy the start atom over a later body atom: copies stop each other *)
+        let steps = Caterpillar.steps cat in
+        let corrupted =
+          match steps with
+          | s1 :: rest ->
+              { cat with Caterpillar.steps = { s1 with Caterpillar.atom = Caterpillar.start cat } :: rest }
+          | _ -> Alcotest.fail "setup: too short"
+        in
+        match Caterpillar.validate_stops corrupted with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "duplicate body atom accepted");
+    Alcotest.test_case "validate_connected rejects dropped relay annotations" `Quick
+      (fun () ->
+        let tgds, cat = valid_cat () in
+        ignore tgds;
+        (* claim a pass-on at a position carrying an inconsistent pair *)
+        let steps = Caterpillar.steps cat in
+        let corrupted =
+          match steps with
+          | s1 :: rest -> { cat with Caterpillar.steps = { s1 with Caterpillar.pass_on = [ 0; 1 ] } :: rest }
+          | _ -> Alcotest.fail "setup: too short"
+        in
+        match Caterpillar.validate_connected corrupted with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "inconsistent pass-on accepted");
+    Alcotest.test_case "derivation validation rejects inactive steps" `Quick (fun () ->
+        let tgds, db = program "r(X,Y) -> exists Z. r(X,Z).\nr(a,b)." in
+        (* manually force the (inactive) trigger through *)
+        let trigger =
+          List.of_seq (Trigger.all tgds db) |> List.hd
+        in
+        let after, produced = Trigger.apply db trigger in
+        let step =
+          {
+            Derivation.index = 0;
+            trigger;
+            produced;
+            frontier = Trigger.frontier_terms trigger;
+            after;
+          }
+        in
+        let d = Derivation.make ~database:db ~steps:[ step ] ~status:Derivation.Out_of_budget in
+        Alcotest.(check bool) "rejected" false (Derivation.validate tgds d));
+    Alcotest.test_case "certificate checking rejects foreign TGD sets" `Quick (fun () ->
+        let tgds, cat = valid_cat () in
+        ignore tgds;
+        let other = Chase_parser.Parser.parse_tgds "q(X) -> exists Y. q(Y)." in
+        match Caterpillar.validate_proto other cat with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "foreign TGD set accepted");
+  ]
+
+let decider_candidate_tests =
+  [
+    Alcotest.test_case "frozen bodies cover every variable partition" `Quick (fun () ->
+        let tgd = Chase_parser.Parser.parse_tgd "g(X,Y), t(Y) -> exists Z. p(X,Z)." in
+        let bodies = Guarded_decider.frozen_bodies_all_partitions tgd in
+        (* two body variables: Bell(2) = 2 partitions *)
+        Alcotest.(check int) "two candidates" 2 (List.length bodies);
+        List.iter
+          (fun db ->
+            Alcotest.(check bool) "matches the body" true
+              (Chase_core.Homomorphism.exists (Tgd.body tgd) db))
+          bodies);
+    Alcotest.test_case "candidate family is duplicate-free" `Quick (fun () ->
+        let tgds =
+          Chase_parser.Parser.parse_tgds
+            "s1: s(X,Y) -> t(X).\ns2: r(X,Y), t(Y) -> p(X,Y).\ns3: p(X,Y) -> exists Z. p(Y,Z)."
+        in
+        let cands = Guarded_decider.candidate_databases tgds in
+        let rec pairwise = function
+          | [] -> true
+          | d :: rest -> List.for_all (fun d' -> not (Instance.equal d d')) rest && pairwise rest
+        in
+        Alcotest.(check bool) "no duplicates" true (pairwise cands));
+  ]
+
+let suite =
+  [
+    ("negative-abstract-join-tree", abstract_tests);
+    ("negative-caterpillar", caterpillar_tests);
+    ("decider-candidates", decider_candidate_tests);
+  ]

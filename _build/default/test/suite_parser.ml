@@ -1,0 +1,92 @@
+(* Tests for the surface syntax: lexer, parser, printer round-trips. *)
+
+open Chase_core
+open Chase_parser
+
+let unit_tests =
+  [
+    Alcotest.test_case "parse a named TGD with explicit exists" `Quick (fun () ->
+        let t = Parser.parse_tgd "wa: r(X,Y) -> exists Z. r(Y,Z)." in
+        Alcotest.(check string) "name" "wa" (Tgd.name t);
+        Alcotest.(check int) "body" 1 (List.length (Tgd.body t));
+        Alcotest.(check int) "existential" 1 (Term.Set.cardinal (Tgd.existential_vars t)));
+    Alcotest.test_case "implicit existentials" `Quick (fun () ->
+        let t = Parser.parse_tgd "r(X,Y) -> r(Y,Z)." in
+        Alcotest.(check bool) "Z existential" true
+          (Term.Set.mem (Term.Var "Z") (Tgd.existential_vars t)));
+    Alcotest.test_case "facts and comments" `Quick (fun () ->
+        let p =
+          Parser.parse_program
+            "% a comment\nr(a,b). // another\nr(b, \"odd constant\")."
+        in
+        Alcotest.(check int) "two facts" 2 (Instance.cardinal (Program.database p)));
+    Alcotest.test_case "multi-head TGDs parse" `Quick (fun () ->
+        let t = Parser.parse_tgd "r(X,Y,Y) -> exists Z. r(X,Z,Y), r(Z,Y,Y)." in
+        Alcotest.(check int) "two head atoms" 2 (List.length (Tgd.head t));
+        Alcotest.(check bool) "not single head" false (Tgd.is_single_head t));
+    Alcotest.test_case "facts with variables are rejected" `Quick (fun () ->
+        match Parser.parse_program "r(a,X)." with
+        | exception Parser.Error _ -> ()
+        | _ -> Alcotest.fail "expected a parse error");
+    Alcotest.test_case "wrong exists list is rejected" `Quick (fun () ->
+        match Parser.parse_program "r(X,Y) -> exists X. r(X,Y)." with
+        | exception Parser.Error _ -> ()
+        | _ -> Alcotest.fail "expected a parse error");
+    Alcotest.test_case "unterminated atom is rejected with a position" `Quick (fun () ->
+        match Parser.parse_program "r(a,b" with
+        | exception Parser.Error { line; _ } -> Alcotest.(check int) "line" 1 line
+        | exception Lexer.Error { line; _ } -> Alcotest.(check int) "line" 1 line
+        | _ -> Alcotest.fail "expected an error");
+    Alcotest.test_case "printer round-trips programs" `Quick (fun () ->
+        let src =
+          "s1: r(X,Y), t(Y) -> exists Z. p(X,Z).\ns2: p(X,Y) -> exists Z. p(Y,Z).\n\
+           r(a,b). t(b)."
+        in
+        let p1 = Parser.parse_program src in
+        let printed = Printer.print_program p1 in
+        let p2 = Parser.parse_program printed in
+        Alcotest.(check int) "same tgd count" (List.length (Program.tgds p1))
+          (List.length (Program.tgds p2));
+        Alcotest.(check bool) "same database" true
+          (Instance.equal (Program.database p1) (Program.database p2));
+        List.iter2
+          (fun a b ->
+            Alcotest.(check string) "same tgd" (Tgd.to_string a) (Tgd.to_string b))
+          (Program.tgds p1) (Program.tgds p2));
+    Alcotest.test_case "printer renames non-conventional variables" `Quick (fun () ->
+        let t =
+          Tgd.make ~name:"t"
+            ~body:[ Atom.make "r" [ Term.Var "x"; Term.Var "y" ] ]
+            ~head:[ Atom.make "r" [ Term.Var "y"; Term.Var "z" ] ]
+            ()
+        in
+        let printed = Printer.print_tgd t in
+        let t' = Parser.parse_tgd printed in
+        Alcotest.(check int) "frontier size preserved" 1
+          (Term.Set.cardinal (Tgd.frontier t')));
+    Alcotest.test_case "schema of a program" `Quick (fun () ->
+        let p = Parser.parse_program "r(X,Y) -> exists Z. t(X,Y,Z).\nr(a,b)." in
+        let s = Program.schema p in
+        Alcotest.(check (option int)) "r/2" (Some 2) (Schema.arity "r" s);
+        Alcotest.(check (option int)) "t/3" (Some 3) (Schema.arity "t" s));
+    Alcotest.test_case "the shipped data/ programs load" `Quick (fun () ->
+        (* dune runs tests in _build/default/test; the data files are two
+           levels up in the source tree *)
+        let dir =
+          List.find_opt Sys.file_exists [ "../../../data"; "../../data"; "data" ]
+        in
+        match dir with
+        | None -> () (* data directory not reachable from the sandbox; skip *)
+        | Some dir ->
+            Sys.readdir dir |> Array.to_list
+            |> List.filter (fun f -> Filename.check_suffix f ".chase")
+            |> List.iter (fun f ->
+                   let p = Parser.load_file (Filename.concat dir f) in
+                   Alcotest.(check bool) (f ^ " has TGDs") true (Program.tgds p <> []);
+                   Alcotest.(check bool)
+                     (f ^ " has facts")
+                     true
+                     (not (Instance.is_empty (Program.database p)))));
+  ]
+
+let suite = [ ("parser", unit_tests) ]

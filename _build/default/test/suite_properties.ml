@@ -1,0 +1,117 @@
+(* Cross-cutting property tests: engine laws, parser round-trips, memo-key
+   invariance, GYO on shaped databases — the randomized glue between the
+   per-module suites. *)
+
+open Chase_core
+open Chase_engine
+
+let wa_cfg seed =
+  { Chase_workload.Tgd_gen.default with Chase_workload.Tgd_gen.seed; tgds = 4 }
+
+let random_db tgds seed =
+  Chase_workload.Db_gen.random ~schema:(Schema.of_tgds tgds) ~atoms:5 ~domain:3 ~seed
+
+let properties =
+  let open QCheck2 in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"printer/parser round-trip on generated TGD sets" ~count:150
+         (Gen.int_bound 100_000) (fun seed ->
+           let tgds =
+             if seed mod 2 = 0 then Chase_workload.Tgd_gen.guarded_set (wa_cfg seed)
+             else Chase_workload.Tgd_gen.linear_set (wa_cfg seed)
+           in
+           let printed =
+             String.concat "\n" (List.map Chase_parser.Printer.print_tgd tgds)
+           in
+           let reparsed = Chase_parser.Parser.parse_tgds printed in
+           List.length tgds = List.length reparsed
+           && List.for_all2
+                (fun a b -> String.equal (Tgd.to_string a) (Tgd.to_string b))
+                tgds reparsed));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"chase results contain the database" ~count:100
+         (Gen.int_bound 100_000) (fun seed ->
+           let tgds = Chase_workload.Tgd_gen.weakly_acyclic_set (wa_cfg seed) in
+           let db = random_db tgds seed in
+           let d = Restricted.run ~max_steps:500 tgds db in
+           Instance.subset db (Derivation.final d)));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"canonical restricted atoms live inside the oblivious chase" ~count:100
+         (Gen.int_bound 100_000) (fun seed ->
+           (* layered WA sets: both chases terminate *)
+           let tgds = Chase_workload.Tgd_gen.weakly_acyclic_set (wa_cfg seed) in
+           let db = random_db tgds seed in
+           let r = Restricted.run ~naming:`Canonical ~max_steps:2_000 tgds db in
+           let ob = Oblivious.run ~max_steps:20_000 tgds db in
+           (not (Derivation.terminated r))
+           || (not ob.Oblivious.saturated)
+           || Instance.subset (Derivation.final r) ob.Oblivious.instance));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"instance keys are invariant under null renaming" ~count:150
+         Tgen.instance_gen (fun i ->
+           let rn = function Term.Null x -> Term.Null ("zz" ^ x) | t -> t in
+           let j = Instance.map (Atom.map rn) i in
+           String.equal
+             (Chase_termination.Derivation_search.instance_key i)
+             (Chase_termination.Derivation_search.instance_key j)));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"every atom stops its own copy" ~count:150 Tgen.ground_atom_gen
+         (fun a ->
+           (* frozen set = all its terms: the identity map witnesses it *)
+           Stop.stops ~frontier:(Atom.term_set a) ~candidate:a ~result:a));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"GYO accepts chains, stars and 1-wide grids; rejects triangles"
+         ~count:50 (Gen.int_range 2 8) (fun n ->
+           let chain = Chase_workload.Db_gen.chain ~pred:"e" ~length:n in
+           let star = Chase_workload.Db_gen.star ~pred:"e" ~rays:n in
+           let tri =
+             Instance.of_list
+               [
+                 Atom.make "e" [ Term.Const "x"; Term.Const "y" ];
+                 Atom.make "e" [ Term.Const "y"; Term.Const "z" ];
+                 Atom.make "e" [ Term.Const "z"; Term.Const "x" ];
+               ]
+           in
+           Chase_termination.Join_tree.is_acyclic chain
+           && Chase_termination.Join_tree.is_acyclic star
+           && not (Chase_termination.Join_tree.is_acyclic tri)));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"GYO join trees satisfy Def 5.4 when they exist" ~count:100
+         Tgen.instance_gen (fun i ->
+           match Chase_termination.Join_tree.gyo i with
+           | None -> true
+           | Some jt -> Chase_termination.Join_tree.is_join_tree_of jt i));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"sequentialized parallel runs are valid models" ~count:60
+         (Gen.int_bound 100_000) (fun seed ->
+           let tgds = Chase_workload.Tgd_gen.weakly_acyclic_set (wa_cfg seed) in
+           let db = random_db tgds seed in
+           let out = Sequentialize.parallel_then_extract ~max_rounds:50 tgds db in
+           Derivation.validate tgds out.Sequentialize.derivation
+           && ((not (Derivation.terminated out.Sequentialize.derivation))
+              || Model_check.is_model ~database:db ~tgds
+                   (Derivation.final out.Sequentialize.derivation))));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"parallel rounds never exceed sequential steps" ~count:60
+         (Gen.int_bound 100_000) (fun seed ->
+           let tgds = Chase_workload.Tgd_gen.weakly_acyclic_set (wa_cfg seed) in
+           let db = random_db tgds seed in
+           let p = Parallel.run ~max_rounds:100 tgds db in
+           let s = Restricted.run ~max_steps:5_000 tgds db in
+           (not p.Parallel.saturated)
+           || (not (Derivation.terminated s))
+           || Parallel.round_count p <= max 1 (Derivation.length s)));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"equality types of isomorphic atoms coincide" ~count:150
+         Tgen.ground_atom_gen (fun a ->
+           let rn = function
+             | Term.Null x -> Term.Null ("q" ^ x)
+             | Term.Const c -> Term.Const ("q" ^ c)
+             | t -> t
+           in
+           Equality_type.equal (Equality_type.of_atom a)
+             (Equality_type.of_atom (Atom.map rn a))));
+  ]
+
+let suite = [ ("properties", properties) ]

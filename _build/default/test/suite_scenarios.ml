@@ -1,0 +1,62 @@
+(* The gallery agreement tests: on every scenario with known ground truth,
+   the facade decider must answer correctly (experiment E7's claim). *)
+
+open Chase_termination
+open Chase_workload
+
+let decider_agrees (s : Scenarios.t) () =
+  let tgds = Scenarios.tgds s in
+  let report = Decider.decide tgds in
+  match (s.Scenarios.truth, report.Decider.answer) with
+  | Scenarios.All_terminating, Decider.Terminating -> ()
+  | Scenarios.Diverging, Decider.Non_terminating -> ()
+  | Scenarios.All_terminating, Decider.Unknown | Scenarios.Diverging, Decider.Unknown ->
+      (* Unknown is allowed only outside the implemented decidable classes
+         (multi-head, or neither sticky nor guarded with WA failing). *)
+      let c = report.Decider.classification in
+      if
+        c.Chase_classes.Classification.single_head
+        && (c.Chase_classes.Classification.sticky || c.Chase_classes.Classification.guarded)
+      then
+        Alcotest.failf "decider returned Unknown on in-scope scenario %s (%s)"
+          s.Scenarios.name report.Decider.detail
+  | Scenarios.All_terminating, Decider.Non_terminating ->
+      Alcotest.failf "decider claims divergence on terminating scenario %s (%s)"
+        s.Scenarios.name report.Decider.detail
+  | Scenarios.Diverging, Decider.Terminating ->
+      Alcotest.failf "decider claims termination on diverging scenario %s (%s)"
+        s.Scenarios.name report.Decider.detail
+
+(* Empirically cross-check the ground truth itself on the representative
+   database: diverging scenarios must show divergence evidence, and
+   all-terminating ones must terminate on every strategy. *)
+let truth_consistent (s : Scenarios.t) () =
+  let tgds = Scenarios.tgds s in
+  let db = Scenarios.database s in
+  match s.Scenarios.truth with
+  | Scenarios.Diverging -> (
+      match Derivation_search.divergence_evidence ~max_depth:150 tgds db with
+      | Some _ -> ()
+      | None ->
+          (* the representative database may not witness it; only fail for
+             scenarios that are supposed to diverge on their own database *)
+          Alcotest.failf "no divergence evidence on scenario %s's database" s.Scenarios.name)
+  | Scenarios.All_terminating ->
+      List.iter
+        (fun strat ->
+          let d = Chase_engine.Restricted.run ~strategy:strat ~max_steps:2_000 tgds db in
+          if not (Chase_engine.Derivation.terminated d) then
+            Alcotest.failf "scenario %s did not terminate" s.Scenarios.name)
+        [ Chase_engine.Restricted.Fifo; Chase_engine.Restricted.Random 3 ]
+
+let suite =
+  [
+    ( "scenario-decider-agreement",
+      List.map
+        (fun s -> Alcotest.test_case s.Scenarios.name `Quick (decider_agrees s))
+        Scenarios.all );
+    ( "scenario-truth-consistency",
+      List.map
+        (fun s -> Alcotest.test_case s.Scenarios.name `Quick (truth_consistent s))
+        Scenarios.all );
+  ]

@@ -1,0 +1,87 @@
+(* Tests for the sticky decision procedure (paper §6, App. D). *)
+
+open Chase_termination
+
+let parse = Chase_parser.Parser.parse_tgds
+
+let check_verdict name expected tgds () =
+  let verdict = Sticky_decider.decide tgds in
+  let show = function
+    | Sticky_decider.All_terminating -> "all-terminating"
+    | Sticky_decider.Non_terminating _ -> "non-terminating"
+    | Sticky_decider.Inconclusive m -> "inconclusive: " ^ m
+  in
+  let actual =
+    match verdict with
+    | Sticky_decider.All_terminating -> "all-terminating"
+    | Sticky_decider.Non_terminating cert ->
+        (* certificates must validate *)
+        (match Sticky_decider.check_certificate tgds cert with
+        | Ok () -> "non-terminating"
+        | Error e -> "invalid certificate: " ^ e)
+    | Sticky_decider.Inconclusive m -> "inconclusive: " ^ m
+  in
+  Alcotest.(check string) name (show expected) actual
+
+let t_nonterm = parse "r(X,Y) -> exists Z. r(Y,Z)."
+
+let t_term_intro = parse "r(X,Y) -> exists Z. r(X,Z)."
+
+let t_sticky_wa =
+  parse
+    {|t(X,Y,Z) -> exists W. s(Y,W).
+      r(X,Y), p(Y,Z) -> exists W. t(X,Y,W).|}
+
+(* Note the frontier: q(X,Y) → ∃Z p(Z) has empty frontier, so any p-atom
+   deactivates it and the set below with head p(Z) would terminate; with
+   head p(Y) the frontier keeps the chain alive and it diverges. *)
+let t_two_step = parse "p(X) -> exists Y. q(X,Y). q(X,Y) -> p(Y)."
+
+let t_two_step_terminating = parse "p(X) -> exists Y. q(X,Y). q(X,Y) -> exists Z. p(Z)."
+
+let t_self_guard = parse "r(X,Y) -> exists Z. r(Z,X)."
+
+let suite =
+  [
+    ( "sticky-decider",
+      [
+        Alcotest.test_case "r(X,Y)→∃Z r(Y,Z) diverges" `Quick
+          (fun () ->
+            match Sticky_decider.decide t_nonterm with
+            | Sticky_decider.Non_terminating cert ->
+                (match Sticky_decider.check_certificate t_nonterm cert with
+                | Ok () -> ()
+                | Error e -> Alcotest.failf "certificate invalid: %s" e)
+            | Sticky_decider.All_terminating -> Alcotest.fail "expected non-termination"
+            | Sticky_decider.Inconclusive m -> Alcotest.failf "inconclusive: %s" m);
+        Alcotest.test_case "intro example r(X,Y)→∃Z r(X,Z) terminates" `Quick
+          (check_verdict "intro" Sticky_decider.All_terminating t_term_intro);
+        Alcotest.test_case "paper §2 sticky set is terminating" `Quick
+          (check_verdict "wa-sticky" Sticky_decider.All_terminating t_sticky_wa);
+        Alcotest.test_case "p→q→p frontier cycle diverges" `Quick
+          (fun () ->
+            match Sticky_decider.decide t_two_step with
+            | Sticky_decider.Non_terminating cert ->
+                (match Sticky_decider.check_certificate t_two_step cert with
+                | Ok () -> ()
+                | Error e -> Alcotest.failf "certificate invalid: %s" e)
+            | Sticky_decider.All_terminating -> Alcotest.fail "expected non-termination"
+            | Sticky_decider.Inconclusive m -> Alcotest.failf "inconclusive: %s" m);
+        Alcotest.test_case "p→q→p with empty frontier terminates" `Quick
+          (check_verdict "empty-frontier" Sticky_decider.All_terminating t_two_step_terminating);
+        Alcotest.test_case "r(X,Y)→∃Z r(Z,X) diverges" `Quick
+          (fun () ->
+            match Sticky_decider.decide t_self_guard with
+            | Sticky_decider.Non_terminating _ -> ()
+            | Sticky_decider.All_terminating -> Alcotest.fail "expected non-termination"
+            | Sticky_decider.Inconclusive m -> Alcotest.failf "inconclusive: %s" m);
+        Alcotest.test_case "non-sticky input is rejected" `Quick
+          (fun () ->
+            let non_sticky =
+              parse "r(X,Y), p(Y,Z) -> exists W. t(X,Y,W). t(X,Y,Z) -> exists W. s(X,W)."
+            in
+            Alcotest.check_raises "invalid"
+              (Invalid_argument "Sticky_automaton: TGDs must be sticky")
+              (fun () -> ignore (Sticky_decider.decide non_sticky)));
+      ] );
+  ]

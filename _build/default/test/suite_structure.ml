@@ -1,0 +1,151 @@
+(* Tests for the guard/side-parent structure over ochase (App. C.2) and
+   the caterpillar-word agreement checks (Def D.2). *)
+
+open Chase_core
+open Chase_engine
+open Chase_termination
+
+let program src =
+  let p = Chase_parser.Parser.parse_program src in
+  (Chase_parser.Program.tgds p, Chase_parser.Program.database p)
+
+let example_5_6 =
+  "s1: s(X,Y) -> t(X).\ns2: r(X,Y), t(Y) -> p(X,Y).\ns3: p(X,Y) -> exists Z. p(Y,Z).\n\
+   r(a,b). s(b,c)."
+
+let structure_tests =
+  [
+    Alcotest.test_case "guard parents form a forest rooted at the database" `Quick (fun () ->
+        let tgds, db = program example_5_6 in
+        let graph = Real_oblivious.build ~max_depth:5 ~max_nodes:300 tgds db in
+        let s = Guarded_structure.build tgds graph in
+        Array.iter
+          (fun node ->
+            let id = node.Real_oblivious.id in
+            let r = Guarded_structure.root s id in
+            let root_node = Real_oblivious.node graph r in
+            Alcotest.(check bool) "root is a database node" true
+              (root_node.Real_oblivious.origin = None);
+            match node.Real_oblivious.origin with
+            | None ->
+                Alcotest.(check (option int)) "roots have no guard parent" None
+                  (Guarded_structure.guard_parent s id)
+            | Some _ ->
+                Alcotest.(check bool) "generated nodes have one" true
+                  (Guarded_structure.guard_parent s id <> None))
+          (Real_oblivious.nodes graph));
+    Alcotest.test_case "remote-side-parent situation of Example 5.6" `Quick (fun () ->
+        let tgds, db = program example_5_6 in
+        let graph = Real_oblivious.build ~max_depth:5 ~max_nodes:300 tgds db in
+        let s = Guarded_structure.build tgds graph in
+        let lf = Guarded_structure.longs_for s in
+        let r_ab = Atom.make "r" [ Term.Const "a"; Term.Const "b" ] in
+        let s_bc = Atom.make "s" [ Term.Const "b"; Term.Const "c" ] in
+        Alcotest.(check bool) "r(a,b) longs for s(b,c)" true
+          (List.exists (fun (x, y) -> Atom.equal x r_ab && Atom.equal y s_bc) lf));
+    Alcotest.test_case "graph-based and derivation-based longs-for agree" `Quick (fun () ->
+        let tgds, db = program example_5_6 in
+        let graph = Real_oblivious.build ~max_depth:5 ~max_nodes:300 tgds db in
+        let s = Guarded_structure.build tgds graph in
+        let graph_lf = Guarded_structure.longs_for s in
+        match Derivation_search.divergence_evidence ~max_depth:40 tgds db with
+        | None -> Alcotest.fail "expected divergence"
+        | Some d ->
+            let deriv_lf = Treeify.longs_for_edges db d in
+            (* every derivation-observed edge appears in the graph version *)
+            List.iter
+              (fun (a, b) ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s⟶%s found" (Atom.to_string a) (Atom.to_string b))
+                  true
+                  (List.exists
+                     (fun (x, y) -> Atom.equal x a && Atom.equal y b)
+                     graph_lf))
+              deriv_lf);
+    Alcotest.test_case "guard subtrees partition the generated nodes" `Quick (fun () ->
+        let tgds, db = program example_5_6 in
+        let graph = Real_oblivious.build ~max_depth:4 ~max_nodes:300 tgds db in
+        let s = Guarded_structure.build tgds graph in
+        let sizes = Guarded_structure.subtree_sizes s in
+        let total = Hashtbl.fold (fun _ c acc -> acc + c) sizes 0 in
+        Alcotest.(check int) "all nodes counted once" (Real_oblivious.size graph) total);
+    Alcotest.test_case "side-parents carry valid sideatom types" `Quick (fun () ->
+        let tgds, db = program example_5_6 in
+        let graph = Real_oblivious.build ~max_depth:4 ~max_nodes:300 tgds db in
+        let s = Guarded_structure.build tgds graph in
+        Array.iter
+          (fun node ->
+            let id = node.Real_oblivious.id in
+            List.iter
+              (fun (sp, pi) ->
+                let sp_atom = (Real_oblivious.node graph sp).Real_oblivious.atom in
+                let gp = Option.get (Guarded_structure.guard_parent s id) in
+                let gp_atom = (Real_oblivious.node graph gp).Real_oblivious.atom in
+                Alcotest.(check bool) "π-sideatom" true
+                  (Sideatom_type.is_sideatom pi sp_atom ~of_:gp_atom))
+              (Guarded_structure.side_parents s id))
+          (Real_oblivious.nodes graph));
+  ]
+
+let word_tests =
+  [
+    Alcotest.test_case "decider certificates agree with the automaton step-by-step" `Quick
+      (fun () ->
+        let check src =
+          let tgds = Chase_parser.Parser.parse_tgds src in
+          match Sticky_decider.decide tgds with
+          | Sticky_decider.Non_terminating cert -> (
+              let ctx = Sticky_automaton.make_context tgds in
+              match
+                Caterpillar_word.check_against_automaton
+                  ~start:(cert.Sticky_decider.start_et, cert.Sticky_decider.start_class)
+                  ctx cert.Sticky_decider.prefix
+              with
+              | Ok () -> ()
+              | Error e -> Alcotest.failf "disagreement on %s: %s" src e)
+          | _ -> Alcotest.failf "expected divergence for %s" src
+        in
+        check "r(X,Y) -> exists Z. r(Y,Z).";
+        check "s1: p(X) -> exists Y. q(X,Y).\ns2: q(X,Y) -> p(Y).";
+        check "s1: p(X,Y), u(W) -> exists Z. p(Y,Z).");
+    Alcotest.test_case "encode is the left inverse of the decoder" `Quick (fun () ->
+        let tgds = Chase_parser.Parser.parse_tgds "r(X,Y) -> exists Z. r(Y,Z)." in
+        match Sticky_decider.decide ~unroll_turns:4 tgds with
+        | Sticky_decider.Non_terminating cert -> (
+            match Caterpillar_word.encode tgds cert.Sticky_decider.prefix with
+            | Error e -> Alcotest.failf "encode failed: %s" e
+            | Ok word ->
+                let expected =
+                  cert.Sticky_decider.lasso.Chase_automata.Buchi.prefix
+                  @ List.concat
+                      (List.init 4 (fun _ ->
+                           cert.Sticky_decider.lasso.Chase_automata.Buchi.cycle))
+                in
+                Alcotest.(check int) "same length" (List.length expected) (List.length word);
+                List.iter2
+                  (fun (a : Sticky_automaton.letter) (b : Sticky_automaton.letter) ->
+                    Alcotest.(check int) "tgd" a.Sticky_automaton.tgd_index
+                      b.Sticky_automaton.tgd_index;
+                    Alcotest.(check int) "gamma" a.Sticky_automaton.gamma_index
+                      b.Sticky_automaton.gamma_index;
+                    Alcotest.(check (list int)) "pass" a.Sticky_automaton.pass_on
+                      b.Sticky_automaton.pass_on)
+                  expected word)
+        | _ -> Alcotest.fail "expected divergence");
+    Alcotest.test_case "extracted caterpillars also agree with the automaton" `Quick
+      (fun () ->
+        let tgds = Chase_parser.Parser.parse_tgds "r(X,Y) -> exists Z. r(Y,Z)." in
+        let db =
+          Instance.singleton (Atom.make "r" [ Term.Const "a"; Term.Const "b" ])
+        in
+        let d = Restricted.run ~strategy:Restricted.Lifo ~max_steps:25 tgds db in
+        match Caterpillar_extract.extract tgds d with
+        | Error e -> Alcotest.failf "extract failed: %s" e
+        | Ok cat -> (
+            let ctx = Sticky_automaton.make_context tgds in
+            match Caterpillar_word.check_against_automaton ctx cat with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "disagreement: %s" e));
+  ]
+
+let suite = [ ("guarded-structure", structure_tests); ("caterpillar-words", word_tests) ]

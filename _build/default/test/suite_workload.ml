@@ -1,0 +1,81 @@
+(* Tests for the workload library: the scenario gallery's metadata, the
+   ChaseBench-style scalable scenarios, and the database shapes. *)
+
+open Chase_core
+open Chase_workload
+
+let unit_tests =
+  [
+    Alcotest.test_case "gallery names are unique and programs parse" `Quick (fun () ->
+        let names = List.map (fun s -> s.Scenarios.name) Scenarios.all in
+        Alcotest.(check int) "unique names" (List.length names)
+          (List.length (List.sort_uniq String.compare names));
+        List.iter
+          (fun s ->
+            let tgds = Scenarios.tgds s in
+            Alcotest.(check bool) (s.Scenarios.name ^ " has TGDs") true (tgds <> []))
+          Scenarios.all);
+    Alcotest.test_case "gallery databases are databases" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            Alcotest.(check bool)
+              (s.Scenarios.name ^ " db is ground")
+              true
+              (Instance.is_database (Scenarios.database s)))
+          Scenarios.all);
+    Alcotest.test_case "by_name finds every scenario" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Scenarios.by_name s.Scenarios.name with
+            | Some s' -> Alcotest.(check string) "same" s.Scenarios.name s'.Scenarios.name
+            | None -> Alcotest.failf "missing %s" s.Scenarios.name)
+          Scenarios.all);
+    Alcotest.test_case "st-mapping scenarios are weakly acyclic and terminate" `Quick
+      (fun () ->
+        List.iter
+          (fun (s : St_mapping.scenario) ->
+            Alcotest.(check bool)
+              (s.St_mapping.name ^ " WA")
+              true
+              (Chase_classes.Weak_acyclicity.is_weakly_acyclic s.St_mapping.tgds);
+            let d =
+              Chase_engine.Restricted.run ~max_steps:50_000 s.St_mapping.tgds
+                s.St_mapping.database
+            in
+            Alcotest.(check bool) (s.St_mapping.name ^ " terminates") true
+              (Chase_engine.Derivation.terminated d))
+          [
+            St_mapping.doctors ~patients:40;
+            St_mapping.deep ~depth:10 ~width:4;
+            St_mapping.join_heavy ~rows:30;
+          ]);
+    Alcotest.test_case "deep scenario chases through every layer" `Quick (fun () ->
+        let s = St_mapping.deep ~depth:7 ~width:3 in
+        let final =
+          Chase_engine.Restricted.run_exn s.St_mapping.tgds s.St_mapping.database
+        in
+        (* 3 facts per layer, 8 layers *)
+        Alcotest.(check int) "atoms" (3 * 8) (Instance.cardinal final));
+    Alcotest.test_case "db shapes have the advertised sizes" `Quick (fun () ->
+        Alcotest.(check int) "chain" 5 (Instance.cardinal (Db_gen.chain ~pred:"e" ~length:5));
+        Alcotest.(check int) "star" 7 (Instance.cardinal (Db_gen.star ~pred:"e" ~rays:7));
+        Alcotest.(check int) "unary" 9 (Instance.cardinal (Db_gen.unary ~pred:"p" ~count:9));
+        (* n×n grid: 2·n·(n−1) edges *)
+        Alcotest.(check int) "grid" (2 * 4 * 3) (Instance.cardinal (Db_gen.grid ~pred:"e" ~n:4)));
+    Alcotest.test_case "random databases respect the schema" `Quick (fun () ->
+        let schema = Schema.of_atoms [ Atom.make "r" [ Term.Const "x"; Term.Const "y" ] ] in
+        let db = Db_gen.random ~schema ~atoms:20 ~domain:4 ~seed:5 in
+        Instance.iter
+          (fun a ->
+            Alcotest.(check string) "pred" "r" (Atom.pred a);
+            Alcotest.(check int) "arity" 2 (Atom.arity a))
+          db);
+    Alcotest.test_case "generators are deterministic in the seed" `Quick (fun () ->
+        let cfg = { Tgd_gen.default with Tgd_gen.seed = 99 } in
+        let a = Tgd_gen.guarded_set cfg and b = Tgd_gen.guarded_set cfg in
+        List.iter2
+          (fun x y -> Alcotest.(check string) "same" (Tgd.to_string x) (Tgd.to_string y))
+          a b);
+  ]
+
+let suite = [ ("workload", unit_tests) ]
