@@ -9,6 +9,10 @@ test:
 bench:
 	dune exec bench/main.exe
 
+# Small-size engine benchmark (E11), writes BENCH_results.json.
+bench-smoke:
+	dune exec bench/main.exe -- --json --smoke E11
+
 examples:
 	dune exec examples/quickstart.exe
 	dune exec examples/data_exchange.exe
@@ -24,4 +28,4 @@ gallery:
 clean:
 	dune clean
 
-.PHONY: all test bench examples gallery clean
+.PHONY: all test bench bench-smoke examples gallery clean

@@ -1,1 +1,1 @@
-bench/bench_util.ml: Analyze Array Bechamel Benchmark Chase_parser Float Hashtbl List Measure Printf Staged String Test Time Toolkit Unix
+bench/bench_util.ml: Analyze Array Bechamel Benchmark Buffer Char Chase_parser Float Hashtbl List Measure Out_channel Printf Staged String Test Time Toolkit Unix

@@ -58,3 +58,48 @@ let table ~title ~header rows =
 let program src =
   let p = Chase_parser.Parser.parse_program src in
   (Chase_parser.Program.tgds p, Chase_parser.Program.database p)
+
+(* Machine-readable results (--json): experiments push flat records here;
+   the driver dumps them to BENCH_results.json.  Hand-rolled writer — the
+   rows are flat and the tree has no JSON dependency. *)
+type json_value = Num of float | Int of int | Str of string | Bool of bool
+
+let json_rows : (string * (string * json_value) list) list ref = ref []
+
+let record experiment fields = json_rows := (experiment, fields) :: !json_rows
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i (experiment, fields) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (Printf.sprintf "  {\"experiment\": \"%s\"" (json_escape experiment));
+      List.iter
+        (fun (k, v) ->
+          let v =
+            match v with
+            | Num f -> if Float.is_nan f then "null" else Printf.sprintf "%.6g" f
+            | Int n -> string_of_int n
+            | Str s -> "\"" ^ json_escape s ^ "\""
+            | Bool b -> string_of_bool b
+          in
+          Buffer.add_string buf (Printf.sprintf ", \"%s\": %s" (json_escape k) v))
+        fields;
+      Buffer.add_string buf "}")
+    (List.rev !json_rows);
+  Buffer.add_string buf "\n]\n";
+  Out_channel.with_open_text path (fun oc -> output_string oc (Buffer.contents buf))

@@ -1,14 +1,20 @@
 (* The benchmark harness: regenerates every experiment of EXPERIMENTS.md
-   (E1–E8).  The paper is a theory paper with no measured tables; these
+   (E1–E11).  The paper is a theory paper with no measured tables; these
    experiments check its qualitative claims and measure the implemented
    systems.  Run with
 
-     dune exec bench/main.exe            (all experiments)
-     dune exec bench/main.exe -- E6 E8   (a selection)                  *)
+     dune exec bench/main.exe                        (all experiments)
+     dune exec bench/main.exe -- E6 E8               (a selection)
+     dune exec bench/main.exe -- --json --smoke E11  (small sizes; also
+                                   write BENCH_results.json)            *)
 
 open Chase_core
 open Chase_engine
 open Bench_util
+
+(* --smoke: shrink workload sizes so the whole harness runs in seconds
+   (used by `make bench-smoke` as a CI-sized sanity pass). *)
+let smoke = ref false
 
 (* ------------------------------------------------------------------ *)
 (* E1: restricted vs (semi-)oblivious chase result sizes.              *)
@@ -642,21 +648,108 @@ let e10 () =
     ~header:[ "scenario"; "|T|"; "|Λ_T|"; "|φ_T| nodes"; "FO/SO quantifiers" ]
     rows
 
+(* ------------------------------------------------------------------ *)
+(* E11: compiled join plans + mutable instance vs the naive engine.     *)
+(* The two Restricted backends produce identical derivations (property- *)
+(* tested), so the ratio below is pure engine throughput: compiled      *)
+(* plans over the Hashtbl-backed Minstance against the generic          *)
+(* homomorphism search over the persistent Instance.                    *)
+(* ------------------------------------------------------------------ *)
+
+let e11 () =
+  let ontology_src =
+    "o1: employee(E) -> exists T. member(E,T).\no2: member(E,T) -> team(T).\n\
+     o3: team(T) -> exists E. member(E,T).\no4: member(E,T) -> employee(E)."
+  in
+  let ontology n =
+    let tgds = Chase_parser.Parser.parse_tgds ontology_src in
+    (Printf.sprintf "ontology(%d)" n, tgds, Chase_workload.Db_gen.unary ~pred:"employee" ~count:n)
+  in
+  let st scenario =
+    let s = scenario in
+    (s.Chase_workload.St_mapping.name, s.Chase_workload.St_mapping.tgds,
+     s.Chase_workload.St_mapping.database)
+  in
+  let families =
+    if !smoke then
+      [
+        ontology 40;
+        st (Chase_workload.St_mapping.doctors ~patients:25);
+        st (Chase_workload.St_mapping.deep ~depth:4 ~width:6);
+        st (Chase_workload.St_mapping.join_heavy ~rows:12);
+        st (Chase_workload.St_mapping.hub_propagation ~n:60 ~pad:240);
+        st (Chase_workload.St_mapping.hub_exchange ~n:50 ~pad:400);
+      ]
+    else
+      [
+        ontology 300;
+        st (Chase_workload.St_mapping.doctors ~patients:150);
+        st (Chase_workload.St_mapping.deep ~depth:6 ~width:25);
+        st (Chase_workload.St_mapping.join_heavy ~rows:45);
+        st (Chase_workload.St_mapping.hub_propagation ~n:2000 ~pad:8000);
+        st (Chase_workload.St_mapping.hub_exchange ~n:1500 ~pad:12000);
+      ]
+  in
+  let quota = if !smoke then 0.1 else 0.5 in
+  let rows =
+    List.map
+      (fun (name, tgds, db) ->
+        let run backend () = Restricted.run ~backend ~max_steps:200_000 tgds db in
+        let d = run `Compiled () in
+        assert (Derivation.terminated d);
+        let steps = Derivation.length d in
+        let naive_ns = measure_ns ~quota (name ^ "/naive") (run `Naive) in
+        let compiled_ns = measure_ns ~quota (name ^ "/compiled") (run `Compiled) in
+        let speedup = naive_ns /. compiled_ns in
+        let throughput ns = float_of_int steps /. (ns /. 1e9) in
+        record "E11"
+          [
+            ("family", Str name);
+            ("chase_steps", Int steps);
+            ("naive_ns", Num naive_ns);
+            ("compiled_ns", Num compiled_ns);
+            ("naive_steps_per_s", Num (throughput naive_ns));
+            ("compiled_steps_per_s", Num (throughput compiled_ns));
+            ("speedup", Num speedup);
+          ];
+        [
+          name;
+          string_of_int steps;
+          pretty_ns naive_ns;
+          pretty_ns compiled_ns;
+          Printf.sprintf "%.0f" (throughput naive_ns);
+          Printf.sprintf "%.0f" (throughput compiled_ns);
+          Printf.sprintf "%.1fx" speedup;
+        ])
+      families
+  in
+  table
+    ~title:
+      "E11  restricted chase, naive engine vs compiled plans + mutable instance \
+       (identical derivations)"
+    ~header:
+      [ "family"; "steps"; "naive"; "compiled"; "naive steps/s"; "compiled steps/s"; "speedup" ]
+    rows
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
-    ("E8", e8); ("E9", e9); ("E10", e10);
+    ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
   ]
 
 let () =
-  let selected =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
-  in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  smoke := List.mem "--smoke" args;
+  let names = List.filter (fun a -> not (String.starts_with ~prefix:"--" a)) args in
+  let selected = match names with [] -> List.map fst experiments | _ -> names in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
       | Some f -> f ()
       | None -> Printf.eprintf "unknown experiment %s\n" name)
-    selected
+    selected;
+  if json then begin
+    write_json "BENCH_results.json";
+    print_endline "wrote BENCH_results.json"
+  end

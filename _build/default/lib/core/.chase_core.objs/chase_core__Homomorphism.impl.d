@@ -1,1 +1,1 @@
-lib/core/homomorphism.ml: Atom Instance List Option Seq String Substitution Term
+lib/core/homomorphism.ml: Array Atom Instance List Option Seq String Substitution Term

@@ -1,0 +1,1 @@
+lib/core/minstance.ml: Atom Hashtbl Instance Int List String Term

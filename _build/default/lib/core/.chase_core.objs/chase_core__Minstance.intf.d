@@ -1,0 +1,1 @@
+lib/core/minstance.mli: Atom Instance Term

@@ -34,6 +34,8 @@ val extends : base:t -> t -> bool
 val domain : t -> Term.Set.t
 val range : t -> Term.Set.t
 val bindings : t -> (Term.t * Term.t) list
+val fold : (Term.t -> Term.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Term.t -> Term.t -> unit) -> t -> unit
 val of_bindings : (Term.t * Term.t) list -> t
 val cardinal : t -> int
 val equal : t -> t -> bool

@@ -1,1 +1,1 @@
-lib/engine/derivation.ml: Atom Chase_core Format Instance List Seq String Term Trigger
+lib/engine/derivation.ml: Atom Chase_core Format Instance Lazy List Seq String Term Trigger

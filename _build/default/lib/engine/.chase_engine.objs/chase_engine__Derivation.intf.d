@@ -1,1 +1,1 @@
-lib/engine/derivation.mli: Atom Chase_core Format Instance Term Tgd Trigger
+lib/engine/derivation.mli: Atom Chase_core Format Instance Lazy Term Tgd Trigger

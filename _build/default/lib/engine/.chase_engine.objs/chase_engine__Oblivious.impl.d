@@ -1,1 +1,1 @@
-lib/engine/oblivious.ml: Chase_core Instance List Queue Seq Set Trigger
+lib/engine/oblivious.ml: Chase_core Hashtbl Instance List Minstance Plan Queue Trigger

@@ -1,0 +1,1 @@
+lib/engine/plan.ml: Array Atom Chase_core Fun Hashtbl Instance Int List Map Minstance Option String Substitution Term Tgd

@@ -1,0 +1,1 @@
+lib/engine/plan.mli: Atom Chase_core Instance Minstance Substitution Term Tgd

@@ -1,1 +1,1 @@
-lib/engine/real_oblivious.ml: Array Atom Chase_core Format Hashtbl Homomorphism Instance Int List Option Printf Stop String Substitution Tgd Trigger
+lib/engine/real_oblivious.ml: Array Atom Chase_core Format Hashtbl Homomorphism Instance Int List Option Printf Stop String Substitution Term Tgd Trigger

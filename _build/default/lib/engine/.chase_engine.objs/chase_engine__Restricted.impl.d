@@ -1,1 +1,1 @@
-lib/engine/restricted.ml: Chase_core Derivation List Option Random Seq Set Term Trigger
+lib/engine/restricted.ml: Array Chase_core Derivation Hashtbl Instance Lazy List Minstance Option Plan Random Seq Term Trigger

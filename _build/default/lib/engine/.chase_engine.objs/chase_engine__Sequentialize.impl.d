@@ -1,1 +1,1 @@
-lib/engine/sequentialize.ml: Atom Chase_core Derivation Instance List Parallel Restricted Substitution Tgd Trigger
+lib/engine/sequentialize.ml: Atom Chase_core Derivation Instance Lazy List Parallel Restricted Substitution Tgd Trigger

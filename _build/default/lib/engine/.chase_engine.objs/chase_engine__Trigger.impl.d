@@ -1,1 +1,1 @@
-lib/engine/trigger.ml: Chase_core Digest Format Homomorphism Instance List Printf Seq String Substitution Term Tgd
+lib/engine/trigger.ml: Chase_core Digest Format Hashtbl Homomorphism Instance List Plan Printf Seq String Substitution Term Tgd

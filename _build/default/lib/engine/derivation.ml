@@ -1,7 +1,10 @@
 (* Chase derivations (paper §3.2): a sequence of instances I₀, I₁, …, with
    I₀ the database, each obtained from the previous by applying an active
-   trigger.  We store the applied triggers and produced atoms; instances
-   are persistent, so per-step snapshots are cheap and kept. *)
+   trigger.  We store the applied triggers and produced atoms; the
+   per-step instance snapshot is lazy, so engines running on a mutable
+   backend pay for persistent snapshots only if someone inspects them
+   (each Iᵢ is Iᵢ₋₁ plus the produced atoms, so forcing any prefix
+   shares all the work). *)
 
 open Chase_core
 
@@ -10,8 +13,10 @@ type step = {
   trigger : Trigger.t;
   produced : Atom.t list;
   frontier : Term.Set.t;  (* frontier terms of the produced atoms *)
-  after : Instance.t;  (* the instance right after this step *)
+  after : Instance.t Lazy.t;  (* the instance right after this step *)
 }
+
+let step_after s = Lazy.force s.after
 
 type status =
   | Terminated  (* no active trigger remains: a finite (valid) derivation *)
@@ -28,13 +33,13 @@ let status d = d.status
 let length d = List.length d.steps
 
 let final d =
-  match List.rev d.steps with [] -> d.database | last :: _ -> last.after
+  match List.rev d.steps with [] -> d.database | last :: _ -> Lazy.force last.after
 
 let instance_at d i =
   if i = 0 then d.database
   else
     match List.nth_opt d.steps (i - 1) with
-    | Some s -> s.after
+    | Some s -> Lazy.force s.after
     | None -> invalid_arg "Derivation.instance_at"
 
 let produced_atoms d = List.concat_map (fun s -> s.produced) d.steps
@@ -62,12 +67,12 @@ let validate tgds d =
   let rec go prev = function
     | [] -> true
     | s :: rest ->
+        let after = Lazy.force s.after in
         Trigger.is_active prev s.trigger
-        && List.for_all (fun a -> Instance.mem a s.after) s.produced
-        && Instance.subset prev s.after
-        && Instance.cardinal s.after
-           <= Instance.cardinal prev + List.length s.produced
-        && go s.after rest
+        && List.for_all (fun a -> Instance.mem a after) s.produced
+        && Instance.subset prev after
+        && Instance.cardinal after <= Instance.cardinal prev + List.length s.produced
+        && go after rest
   in
   ok_status && go d.database d.steps
 

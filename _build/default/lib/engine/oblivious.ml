@@ -6,11 +6,20 @@
    closed under trigger application, independent of order.
 
    The semi-oblivious chase identifies triggers agreeing on the frontier:
-   (σ, h) is applied only if no (σ, h') with h'|fr = h|fr was. *)
+   (σ, h) is applied only if no (σ, h') with h'|fr = h|fr was.
+
+   As in {!Restricted}, two backends run the same schedule: [`Compiled]
+   (default) uses compiled plans over a mutable instance, [`Naive] the
+   generic search over the persistent one.  Candidates are enqueued in
+   sorted batches, so both produce the same application sequence — which
+   matters for the semi-oblivious variant, where the choice of
+   frontier-class representative decides the canonical null names. *)
 
 open Chase_core
 
 type variant = Oblivious | Semi_oblivious
+
+type backend = [ `Compiled | `Naive ]
 
 type result = {
   instance : Instance.t;
@@ -18,7 +27,7 @@ type result = {
   saturated : bool;  (* false when the step budget ran out *)
 }
 
-module TrigSet = Set.Make (Trigger)
+module TrigTbl = Hashtbl.Make (Trigger)
 
 let default_max_steps = 10_000
 
@@ -28,17 +37,23 @@ let applied_key variant trigger =
   | Oblivious -> trigger
   | Semi_oblivious -> Trigger.make (Trigger.tgd trigger) (Trigger.frontier_hom trigger)
 
-let run ?(variant = Oblivious) ?(max_steps = default_max_steps) tgds database =
-  let applied = ref TrigSet.empty in
+(* Shared queue discipline: dedup by applied-key, enqueue sorted batches. *)
+let make_enqueue variant queue =
+  let applied = TrigTbl.create 256 in
+  fun ts ->
+    List.iter
+      (fun t ->
+        let key = applied_key variant t in
+        if not (TrigTbl.mem applied key) then begin
+          TrigTbl.add applied key ();
+          Queue.add t queue
+        end)
+      (List.sort Trigger.compare ts)
+
+let run_naive ~variant ~max_steps tgds database =
   let queue = Queue.create () in
-  let enqueue t =
-    let key = applied_key variant t in
-    if not (TrigSet.mem key !applied) then begin
-      applied := TrigSet.add key !applied;
-      Queue.add t queue
-    end
-  in
-  Seq.iter enqueue (Trigger.all tgds database);
+  let enqueue = make_enqueue variant queue in
+  enqueue (List.of_seq (Trigger.all_naive tgds database));
   let rec loop instance n =
     if Queue.is_empty queue then { instance; applications = n; saturated = true }
     else if n >= max_steps then { instance; applications = n; saturated = false }
@@ -49,12 +64,53 @@ let run ?(variant = Oblivious) ?(max_steps = default_max_steps) tgds database =
       List.iter
         (fun atom ->
           if not (Instance.mem atom instance) then
-            Seq.iter enqueue (Trigger.involving tgds after atom))
+            enqueue (List.of_seq (Trigger.involving_naive tgds after atom)))
         produced;
       loop after (n + 1)
   in
   loop database 0
 
+let run_compiled ~variant ~max_steps tgds database =
+  let m = Minstance.of_instance database in
+  let src = Plan.source_of_minstance m in
+  let plans = List.map (fun tgd -> (tgd, Plan.of_tgd tgd)) tgds in
+  let queue = Queue.create () in
+  let enqueue = make_enqueue variant queue in
+  let seed = ref [] in
+  List.iter
+    (fun (tgd, p) -> Plan.iter_homs p src (fun hom -> seed := Trigger.make tgd hom :: !seed))
+    plans;
+  enqueue !seed;
+  let rec loop n =
+    if Queue.is_empty queue then { instance = Minstance.snapshot m; applications = n; saturated = true }
+    else if n >= max_steps then
+      { instance = Minstance.snapshot m; applications = n; saturated = false }
+    else begin
+      let trigger = Queue.pop queue in
+      let produced = Trigger.result trigger in
+      (* Add everything first (applications are simultaneous), remember
+         which atoms were genuinely new. *)
+      let fresh = List.filter (fun atom -> Minstance.add m atom) produced in
+      List.iter
+        (fun atom ->
+          let batch = ref [] in
+          List.iter
+            (fun (tgd, p) ->
+              Plan.iter_delta_homs p src atom (fun hom -> batch := Trigger.make tgd hom :: !batch))
+            plans;
+          enqueue !batch)
+        fresh;
+      loop (n + 1)
+    end
+  in
+  loop 0
+
+let run ?(backend = `Compiled) ?(variant = Oblivious) ?(max_steps = default_max_steps) tgds
+    database =
+  match backend with
+  | `Naive -> run_naive ~variant ~max_steps tgds database
+  | `Compiled -> run_compiled ~variant ~max_steps tgds database
+
 (* Does the oblivious chase saturate within the budget? *)
-let terminates_within ?variant ~max_steps tgds database =
-  (run ?variant ~max_steps tgds database).saturated
+let terminates_within ?backend ?variant ~max_steps tgds database =
+  (run ?backend ?variant ~max_steps tgds database).saturated

@@ -9,6 +9,11 @@ open Chase_core
 
 type variant = Oblivious | Semi_oblivious
 
+(** Matching backend, as in {!Restricted}: compiled plans on the mutable
+    instance (default) vs the generic search on the persistent one; both
+    run the identical application sequence. *)
+type backend = [ `Compiled | `Naive ]
+
 type result = {
   instance : Instance.t;
   applications : int;
@@ -17,7 +22,9 @@ type result = {
 
 val default_max_steps : int
 
-val run : ?variant:variant -> ?max_steps:int -> Tgd.t list -> Instance.t -> result
+val run :
+  ?backend:backend -> ?variant:variant -> ?max_steps:int -> Tgd.t list -> Instance.t -> result
 
 (** Whether the chase saturates within the given budget. *)
-val terminates_within : ?variant:variant -> max_steps:int -> Tgd.t list -> Instance.t -> bool
+val terminates_within :
+  ?backend:backend -> ?variant:variant -> max_steps:int -> Tgd.t list -> Instance.t -> bool

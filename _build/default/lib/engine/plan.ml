@@ -1,0 +1,356 @@
+(* Compiled join plans (see plan.mli for the design rationale).
+
+   A TGD's variables are interned into integer slots; matching binds
+   into a scratch [Term.t option array] with an explicit undo trail, so
+   the innermost loop performs no map operations at all.  The body atom
+   order and the per-atom index candidates are chosen once, at compile
+   time, by a greedy most-constrained-first heuristic; at runtime only
+   the cheapest of the statically-legal indexes is probed. *)
+
+open Chase_core
+
+type pat = Fixed of Term.t | S of int  (* slot *)
+
+type step = {
+  pred : string;
+  arity : int;
+  pats : pat array;
+  bound : (int * pat) array;
+      (* positions statically determined before this step is matched:
+         fixed terms, and slots bound by earlier atoms of the plan.
+         Used only to select the candidate index. *)
+}
+
+type t = {
+  tgd : Tgd.t;
+  id : int;  (* unique per compiled plan; memo key component *)
+  nslots : int;
+  var_of_slot : Term.t array;
+  body_slots : int array;  (* slots of body variables, for emit *)
+  body_order : step array;  (* full enumeration *)
+  delta : (step * step array) array;
+      (* per body atom index: the seed step (matched directly against a
+         delta atom) and the compiled suffix for the remaining atoms *)
+  head_steps : step array;  (* head atoms, frontier slots pre-bound *)
+  frontier_vars : Term.t array;  (* sorted; aligned with frontier_slots *)
+  frontier_slots : int array;
+}
+
+let tgd p = p.tgd
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let next_id = ref 0
+
+let compile tgd =
+  let body = Array.of_list (Tgd.body tgd) in
+  let head = Array.of_list (Tgd.head tgd) in
+  (* Intern every variable of the TGD into a slot. *)
+  let slot_of_var : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let vars = ref [] in
+  let nslots = ref 0 in
+  let slot v =
+    match Hashtbl.find_opt slot_of_var v with
+    | Some s -> s
+    | None ->
+        let s = !nslots in
+        Hashtbl.add slot_of_var v s;
+        vars := Term.Var v :: !vars;
+        incr nslots;
+        s
+  in
+  let pat_of_term = function Term.Var v -> S (slot v) | t -> Fixed t in
+  let pats_of_atom a = Array.map pat_of_term (Atom.args_a a) in
+  let body_pats = Array.map pats_of_atom body in
+  let head_pats = Array.map pats_of_atom head in
+  let var_of_slot () = Array.of_list (List.rev !vars) in
+  (* A step for atom [a], given the set of slots bound beforehand. *)
+  let make_step a pats bound_slots =
+    let bound = ref [] in
+    Array.iteri
+      (fun i p ->
+        match p with
+        | Fixed _ -> bound := (i, p) :: !bound
+        | S s -> if bound_slots.(s) then bound := (i, p) :: !bound)
+      pats;
+    { pred = Atom.pred a; arity = Atom.arity a; pats; bound = Array.of_list (List.rev !bound) }
+  in
+  (* Constrained-position count of an atom under the current bound set:
+     fixed terms, already-bound slots, and within-atom repeats all prune
+     candidates, so they all count toward selectivity. *)
+  let score pats bound_slots =
+    let seen = Hashtbl.create 8 in
+    let c = ref 0 in
+    Array.iter
+      (fun p ->
+        match p with
+        | Fixed _ -> incr c
+        | S s ->
+            if bound_slots.(s) || Hashtbl.mem seen s then incr c else Hashtbl.add seen s ())
+      pats;
+    !c
+  in
+  let mark_bound bound_slots pats =
+    Array.iter (function S s -> bound_slots.(s) <- true | Fixed _ -> ()) pats
+  in
+  (* Greedy order over the given atom indices, starting from a bound-slot
+     set; ties break toward the original body order for determinism. *)
+  let greedy_order indices initially_bound =
+    let bound_slots = Array.make (max 1 !nslots) false in
+    Array.iter (fun s -> bound_slots.(s) <- true) initially_bound;
+    let remaining = ref indices in
+    let order = ref [] in
+    while !remaining <> [] do
+      let best =
+        List.fold_left
+          (fun best i ->
+            let sc = score body_pats.(i) bound_slots in
+            match best with Some (_, bsc) when bsc >= sc -> best | _ -> Some (i, sc))
+          None !remaining
+        |> Option.get |> fst
+      in
+      remaining := List.filter (fun i -> i <> best) !remaining;
+      order := (make_step body.(best) body_pats.(best) bound_slots, best) :: !order;
+      mark_bound bound_slots body_pats.(best)
+    done;
+    List.rev !order
+  in
+  let all_indices = List.init (Array.length body) Fun.id in
+  let body_order = Array.of_list (List.map fst (greedy_order all_indices [||])) in
+  let slots_of_pats pats =
+    Array.to_list pats |> List.filter_map (function S s -> Some s | Fixed _ -> None)
+  in
+  let delta =
+    Array.init (Array.length body) (fun i ->
+        let no_bound = Array.make (max 1 !nslots) false in
+        let seed = make_step body.(i) body_pats.(i) no_bound in
+        let rest = List.filter (fun j -> j <> i) all_indices in
+        let suffix =
+          greedy_order rest (Array.of_list (slots_of_pats body_pats.(i))) |> List.map fst
+        in
+        (seed, Array.of_list suffix))
+  in
+  let frontier_vars = Array.of_list (Term.Set.elements (Tgd.frontier tgd)) in
+  let frontier_slots =
+    Array.map
+      (function Term.Var v -> Hashtbl.find slot_of_var v | _ -> assert false)
+      frontier_vars
+  in
+  let head_steps =
+    (* greedy over head atoms with the frontier pre-bound *)
+    let bound_slots = Array.make (max 1 !nslots) false in
+    Array.iter (fun s -> bound_slots.(s) <- true) frontier_slots;
+    let remaining = ref (List.init (Array.length head) Fun.id) in
+    let order = ref [] in
+    while !remaining <> [] do
+      let best =
+        List.fold_left
+          (fun best i ->
+            let sc = score head_pats.(i) bound_slots in
+            match best with Some (_, bsc) when bsc >= sc -> best | _ -> Some (i, sc))
+          None !remaining
+        |> Option.get |> fst
+      in
+      remaining := List.filter (fun i -> i <> best) !remaining;
+      order := make_step head.(best) head_pats.(best) bound_slots :: !order;
+      mark_bound bound_slots head_pats.(best)
+    done;
+    Array.of_list (List.rev !order)
+  in
+  let body_slots =
+    let seen = Hashtbl.create 16 in
+    Array.iter
+      (fun pats ->
+        List.iter (fun s -> Hashtbl.replace seen s ()) (slots_of_pats pats))
+      body_pats;
+    Array.of_list (Hashtbl.fold (fun s () acc -> s :: acc) seen [])
+  in
+  let id = !next_id in
+  incr next_id;
+  {
+    tgd;
+    id;
+    nslots = !nslots;
+    var_of_slot = var_of_slot ();
+    body_slots;
+    body_order;
+    delta;
+    head_steps;
+    frontier_vars;
+    frontier_slots;
+  }
+
+module TgdMap = Map.Make (Tgd)
+
+let cache = ref TgdMap.empty
+
+let of_tgd tgd =
+  match TgdMap.find_opt tgd !cache with
+  | Some p -> p
+  | None ->
+      let p = compile tgd in
+      cache := TgdMap.add tgd p !cache;
+      p
+
+(* ------------------------------------------------------------------ *)
+(* Sources                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type source = {
+  iter_pred : string -> (Atom.t -> unit) -> unit;
+  iter_pos_term : string -> int -> Term.t -> (Atom.t -> unit) -> unit;
+  count_pos_term : string -> int -> Term.t -> int;
+}
+
+let source_of_instance i =
+  {
+    iter_pred = (fun p f -> Atom.Set.iter f (Instance.with_pred_set i p));
+    iter_pos_term = (fun p k t f -> Atom.Set.iter f (Instance.with_pred_pos_term i p k t));
+    count_pos_term = (fun p k t -> Atom.Set.cardinal (Instance.with_pred_pos_term i p k t));
+  }
+
+let source_of_minstance m =
+  {
+    iter_pred = (fun p f -> List.iter f (Minstance.with_pred m p));
+    iter_pos_term = (fun p k t f -> List.iter f (Minstance.with_pos_term m p k t));
+    count_pos_term = (fun p k t -> Minstance.pos_term_count m p k t);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Runtime                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Match [atom] against the step's pattern, binding fresh slots into
+   [env] and recording them on [trail] from cursor [tcur].  Returns the
+   new trail cursor, or -1 with [env] restored. *)
+let try_match st (env : Term.t option array) (trail : int array) tcur atom =
+  if Atom.arity atom <> st.arity then -1
+  else begin
+    let cur = ref tcur in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < st.arity do
+      let v = Atom.arg atom !i in
+      (match st.pats.(!i) with
+      | Fixed t -> if not (Term.equal t v) then ok := false
+      | S s -> (
+          match env.(s) with
+          | Some u -> if not (Term.equal u v) then ok := false
+          | None ->
+              env.(s) <- Some v;
+              trail.(!cur) <- s;
+              incr cur));
+      incr i
+    done;
+    if !ok then !cur
+    else begin
+      for j = tcur to !cur - 1 do
+        env.(trail.(j)) <- None
+      done;
+      -1
+    end
+  end
+
+(* Candidate atoms for a step: cheapest statically-bound index, else a
+   predicate scan.  An index probe of cardinality 0 short-circuits. *)
+let iter_candidates src st env f =
+  if Array.length st.bound = 0 then src.iter_pred st.pred f
+  else begin
+    let best_pos = ref (-1) and best_t = ref (Term.Const "") and best_c = ref max_int in
+    Array.iter
+      (fun (pos, p) ->
+        let v = match p with Fixed t -> t | S s -> Option.get env.(s) in
+        let c = src.count_pos_term st.pred pos v in
+        if c < !best_c then begin
+          best_c := c;
+          best_pos := pos;
+          best_t := v
+        end)
+      st.bound;
+    if !best_c > 0 then src.iter_pos_term st.pred !best_pos !best_t f
+  end
+
+let run_steps src steps env trail start_cursor emit =
+  let n = Array.length steps in
+  let rec go k tcur =
+    if k >= n then emit ()
+    else
+      let st = steps.(k) in
+      iter_candidates src st env (fun atom ->
+          let cur' = try_match st env trail tcur atom in
+          if cur' >= 0 then begin
+            go (k + 1) cur';
+            for j = tcur to cur' - 1 do
+              env.(trail.(j)) <- None
+            done
+          end)
+  in
+  go 0 start_cursor
+
+let sub_of_env p env =
+  Array.fold_left
+    (fun s slot ->
+      match env.(slot) with
+      | Some v -> Substitution.bind p.var_of_slot.(slot) v s
+      | None -> s)
+    Substitution.empty p.body_slots
+
+let scratch p = (Array.make (max 1 p.nslots) None, Array.make (max 1 p.nslots) 0)
+
+let iter_homs p src f =
+  let env, trail = scratch p in
+  run_steps src p.body_order env trail 0 (fun () -> f (sub_of_env p env))
+
+let iter_delta_homs p src atom f =
+  let pred = Atom.pred atom in
+  Array.iter
+    (fun (seed, suffix) ->
+      (* the delta atom comes from outside the per-predicate indexes, so
+         the predicate must be checked here *)
+      if String.equal seed.pred pred then begin
+        let env, trail = scratch p in
+        let cur = try_match seed env trail 0 atom in
+        if cur >= 0 then run_steps src suffix env trail cur (fun () -> f (sub_of_env p env))
+      end)
+    p.delta
+
+exception Sat
+
+let head_satisfied p src hom =
+  let env, trail = scratch p in
+  Array.iteri
+    (fun k slot -> env.(slot) <- Some (Substitution.apply_term hom p.frontier_vars.(k)))
+    p.frontier_slots;
+  try
+    run_steps src p.head_steps env trail 0 (fun () -> raise Sat);
+    false
+  with Sat -> true
+
+let frontier_image p hom =
+  Array.fold_right (fun v acc -> Substitution.apply_term hom v :: acc) p.frontier_vars []
+
+module KeyTbl = Hashtbl.Make (struct
+  type t = int * Term.t list
+
+  let equal (i1, ts1) (i2, ts2) = Int.equal i1 i2 && List.equal Term.equal ts1 ts2
+
+  let hash (i, ts) =
+    List.fold_left (fun acc t -> (acc * 65599) + Term.hash t) i ts land max_int
+end)
+
+module Head_memo = struct
+  type nonrec t = unit KeyTbl.t
+
+  let create () = KeyTbl.create 256
+
+  let is_active memo p src hom =
+    let key = (p.id, frontier_image p hom) in
+    if KeyTbl.mem memo key then false
+    else if head_satisfied p src hom then begin
+      KeyTbl.add memo key ();
+      false
+    end
+    else true
+end

@@ -1,0 +1,95 @@
+(** Compiled join plans for TGD bodies and heads.
+
+    Every decision procedure in the repo bottoms out in the chase loop,
+    which matches TGD bodies against the current instance over and over.
+    The generic {!Chase_core.Homomorphism} search re-plans the atom
+    order per call and threads persistent maps through the hot loop;
+    this module instead compiles each TGD {e once} into:
+
+    - a fixed body atom order chosen by static selectivity (connected,
+      most-constrained-first greedy ordering);
+    - per-atom index choices: the positions statically known to be bound
+      when the atom is matched, among which the least-populated
+      [(pred, pos, term)] index is picked at runtime;
+    - slot-based matching: variables are interned into integer slots, so
+      the inner loop binds into a scratch array with an undo trail
+      instead of a balanced map;
+    - a {e seed-atom} variant per body atom for incremental matching:
+      "all homomorphisms whose i-th body atom is this delta atom" runs a
+      plan suffix instead of re-unifying the whole body;
+    - a head plan with the frontier slots pre-bound, backing the active
+      trigger test, plus a memo keyed by frontier image (head
+      satisfaction is monotone under chase growth, so positive answers
+      are cached for a whole run).
+
+    Plans run against an abstract {!source}, so the same compiled code
+    serves the persistent {!Chase_core.Instance} and the mutable
+    {!Chase_core.Minstance} backends. *)
+
+open Chase_core
+
+type t
+
+(** Compile the TGD's body, delta and head plans. *)
+val compile : Tgd.t -> t
+
+(** Memoizing wrapper around {!compile} (keyed by the TGD itself), so
+    call sites that receive plain TGD lists still compile once. *)
+val of_tgd : Tgd.t -> t
+
+val tgd : t -> Tgd.t
+
+(** {1 Data sources} *)
+
+(** What a plan needs from an instance representation: predicate scans,
+    [(pred, pos, term)] index scans, and index cardinalities. *)
+type source = {
+  iter_pred : string -> (Atom.t -> unit) -> unit;
+  iter_pos_term : string -> int -> Term.t -> (Atom.t -> unit) -> unit;
+  count_pos_term : string -> int -> Term.t -> int;
+}
+
+val source_of_instance : Instance.t -> source
+val source_of_minstance : Minstance.t -> source
+
+(** {1 Running plans} *)
+
+(** [iter_homs p src f] calls [f] on every homomorphism from the body of
+    [tgd p] into the source.  The substitutions bind exactly the body
+    variables (same domain as the generic search). *)
+val iter_homs : t -> source -> (Substitution.t -> unit) -> unit
+
+(** [iter_delta_homs p src atom f]: every body homomorphism that maps at
+    least one body atom onto [atom], found by seeding each body position
+    with [atom] and running the compiled suffix.  May present the same
+    homomorphism once per matching seed position, like the generic
+    incremental search. *)
+val iter_delta_homs : t -> source -> Atom.t -> (Substitution.t -> unit) -> unit
+
+(** [head_satisfied p src hom]: does some extension of [hom]'s frontier
+    restriction map the head into the source?  ([hom] is a full body
+    homomorphism; only its frontier bindings are read.) *)
+val head_satisfied : t -> source -> Substitution.t -> bool
+
+(** The frontier image of a body homomorphism, in canonical variable
+    order — head satisfaction depends only on this. *)
+val frontier_image : t -> Substitution.t -> Term.t list
+
+(** {1 Memoized activity}
+
+    Head satisfaction is monotone for a growing instance: once some
+    extension maps the head in, it stays in.  A per-run memo keyed by
+    (plan, frontier image) therefore caches positive answers — which
+    also collapses the activity test across all triggers sharing a
+    frontier image. *)
+module Head_memo : sig
+  type plan := t
+  type t
+
+  val create : unit -> t
+
+  (** [is_active memo p src hom]: the Def 3.1 activity test, with the
+      satisfied-head cache.  Sound only while the underlying source
+      grows monotonically (which chase runs guarantee). *)
+  val is_active : t -> plan -> source -> Substitution.t -> bool
+end

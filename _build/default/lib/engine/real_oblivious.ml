@@ -22,6 +22,9 @@ type node = {
   parents : int array;  (* ≺p, aligned with the body atoms of the TGD *)
 }
 
+type ibucket = { mutable ids : int list; mutable card : int }
+(* one (pred, pos, term) index entry; ids descending *)
+
 type t = {
   nodes : node array;
   by_pred : (string, int list) Hashtbl.t;  (* pred -> node ids, ascending *)
@@ -60,6 +63,10 @@ let build ?(max_nodes = default_max_nodes) ?(max_depth = default_max_depth) tgds
   let store : (int, node) Hashtbl.t = Hashtbl.create 256 in
   let count = ref 0 in
   let by_pred : (string, int list) Hashtbl.t = Hashtbl.create 16 in
+  (* Secondary index (pred, position, term) -> node ids, descending like
+     [by_pred]; lets [matches_for] probe only nodes agreeing with the
+     bindings accumulated so far instead of scanning the predicate. *)
+  let by_term : (string * int * Term.t, ibucket) Hashtbl.t = Hashtbl.create 64 in
   let dedup : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   let add_node depth atom origin parents =
     let n = { id = !count; depth; atom; origin; parents } in
@@ -67,10 +74,45 @@ let build ?(max_nodes = default_max_nodes) ?(max_depth = default_max_depth) tgds
     Hashtbl.add store n.id n;
     let prev = Option.value ~default:[] (Hashtbl.find_opt by_pred (Atom.pred atom)) in
     Hashtbl.replace by_pred (Atom.pred atom) (n.id :: prev);
+    Array.iteri
+      (fun pos t ->
+        let key = (Atom.pred atom, pos, t) in
+        match Hashtbl.find_opt by_term key with
+        | Some b ->
+            b.ids <- n.id :: b.ids;
+            b.card <- b.card + 1
+        | None -> Hashtbl.add by_term key { ids = [ n.id ]; card = 1 })
+      (Atom.args_a atom);
     n
   in
   Instance.iter (fun a -> ignore (add_node 0 a None [||])) database;
   let node_by_id id = Hashtbl.find store id in
+  (* Candidate node ids for a body atom under the current bindings: the
+     most selective (pred, pos, term) index among the determined
+     positions, else the whole predicate.  Both are descending id lists
+     and the survivors of the match filter come out in the same relative
+     order either way, so node ids are assigned exactly as with a plain
+     predicate scan. *)
+  let candidate_ids gamma sub =
+    let n = Atom.arity gamma in
+    let best = ref None in
+    for i = 0 to n - 1 do
+      let t = Atom.arg gamma i in
+      let value = if Term.is_rigid t then Some t else Substitution.find_opt t sub in
+      match value with
+      | None -> ()
+      | Some v ->
+          let card, ids =
+            match Hashtbl.find_opt by_term (Atom.pred gamma, i, v) with
+            | Some b -> (b.card, b.ids)
+            | None -> (0, [])
+          in
+          (match !best with Some (c, _) when c <= card -> () | _ -> best := Some (card, ids))
+    done;
+    match !best with
+    | Some (_, ids) -> ids
+    | None -> Option.value ~default:[] (Hashtbl.find_opt by_pred (Atom.pred gamma))
+  in
   (* Enumerate, for one TGD, all (hom, parent tuple) pairs whose maximal
      parent depth is exactly [target_depth - 1]. *)
   let matches_for tgd target_depth emit =
@@ -83,9 +125,6 @@ let build ?(max_nodes = default_max_nodes) ?(max_depth = default_max_depth) tgds
       end
       else
         let gamma = body.(i) in
-        let candidates =
-          Option.value ~default:[] (Hashtbl.find_opt by_pred (Atom.pred gamma))
-        in
         List.iter
           (fun id ->
             let n = node_by_id id in
@@ -95,7 +134,7 @@ let build ?(max_nodes = default_max_nodes) ?(max_depth = default_max_depth) tgds
               | Some sub' ->
                   chosen.(i) <- id;
                   go (i + 1) sub' (max max_d n.depth))
-          candidates
+          (candidate_ids gamma sub)
     in
     go 0 Substitution.empty (-1)
   in

@@ -9,7 +9,17 @@
    Candidate triggers are discovered incrementally: once an atom is added,
    only triggers whose body uses that atom are new.  Activity is monotone
    downwards (instances only grow, so a satisfied head stays satisfied), so
-   a candidate found inactive can be dropped for good. *)
+   a candidate found inactive can be dropped for good.
+
+   Two backends run the same schedule.  [`Compiled] (the default) matches
+   bodies with compiled join plans ({!Plan}) over a mutable hash-indexed
+   instance ({!Chase_core.Minstance}) and memoizes satisfied heads;
+   [`Naive] is the original generic-homomorphism search over the
+   persistent instance, kept as the oracle for equivalence tests.  Both
+   push candidate triggers into the pool in batches sorted by
+   {!Trigger.compare} — one batch for the initial instance, one per
+   produced atom — so the pop sequence, and hence the whole derivation,
+   is identical across backends for every strategy. *)
 
 open Chase_core
 
@@ -18,98 +28,176 @@ type strategy =
   | Lifo  (* newest candidate first — depth-first, possibly unfair *)
   | Random of int  (* uniformly random candidate, seeded *)
 
-module TrigSet = Set.Make (Trigger)
+type backend = [ `Compiled | `Naive ]
 
-(* A simple pool of pending candidate triggers with the three policies. *)
+module TrigTbl = Hashtbl.Make (Trigger)
+
+(* A pool of pending candidate triggers with the three policies, backed by
+   one growable array: Fifo reads at a front cursor, Lifo pops the end,
+   Random swap-removes — all O(1) per operation.  Dedup is a hashed set,
+   so a push costs one hash instead of log-many substitution compares. *)
 module Pool = struct
   type t = {
-    mutable fifo_front : Trigger.t list;
-    mutable fifo_back : Trigger.t list;
-    mutable seen : TrigSet.t;
+    mutable arr : Trigger.t array;
+    mutable len : int;  (* one past the last live element *)
+    mutable front : int;  (* Fifo read cursor; 0 for Lifo/Random *)
+    seen : unit TrigTbl.t;
     strategy : strategy;
     rng : Random.State.t option;
-    mutable store : Trigger.t list;  (* Lifo / Random storage *)
   }
 
   let create strategy =
     let rng = match strategy with Random seed -> Some (Random.State.make [| seed |]) | _ -> None in
-    { fifo_front = []; fifo_back = []; seen = TrigSet.empty; strategy; rng; store = [] }
+    { arr = [||]; len = 0; front = 0; seen = TrigTbl.create 256; strategy; rng }
 
   let push pool t =
-    if TrigSet.mem t pool.seen then ()
-    else begin
-      pool.seen <- TrigSet.add t pool.seen;
-      match pool.strategy with
-      | Fifo -> pool.fifo_back <- t :: pool.fifo_back
-      | Lifo | Random _ -> pool.store <- t :: pool.store
+    if not (TrigTbl.mem pool.seen t) then begin
+      TrigTbl.add pool.seen t ();
+      let cap = Array.length pool.arr in
+      if pool.len = cap then begin
+        (* grow, seeding the new array with [t] so no dummy is needed *)
+        let arr' = Array.make (max 8 (2 * cap)) t in
+        Array.blit pool.arr 0 arr' 0 pool.len;
+        pool.arr <- arr'
+      end;
+      pool.arr.(pool.len) <- t;
+      pool.len <- pool.len + 1
     end
+
+  (* Candidates are pushed in canonically sorted batches so that both
+     backends fill the pool identically (see the header comment). *)
+  let push_batch pool ts = List.iter (push pool) (List.sort Trigger.compare ts)
 
   let pop pool =
     match pool.strategy with
-    | Fifo -> (
-        match pool.fifo_front with
-        | t :: rest ->
-            pool.fifo_front <- rest;
-            Some t
-        | [] -> (
-            match List.rev pool.fifo_back with
-            | [] -> None
-            | t :: rest ->
-                pool.fifo_front <- rest;
-                pool.fifo_back <- [];
-                Some t))
-    | Lifo -> (
-        match pool.store with
-        | [] -> None
-        | t :: rest ->
-            pool.store <- rest;
-            Some t)
-    | Random _ -> (
-        match pool.store with
-        | [] -> None
-        | store ->
-            let rng = Option.get pool.rng in
-            let n = List.length store in
-            let k = Random.State.int rng n in
-            let picked = List.nth store k in
-            pool.store <- List.filteri (fun i _ -> i <> k) store;
-            Some picked)
+    | Fifo ->
+        if pool.front >= pool.len then None
+        else begin
+          let t = pool.arr.(pool.front) in
+          pool.front <- pool.front + 1;
+          Some t
+        end
+    | Lifo ->
+        if pool.len = 0 then None
+        else begin
+          pool.len <- pool.len - 1;
+          Some pool.arr.(pool.len)
+        end
+    | Random _ ->
+        if pool.len = 0 then None
+        else begin
+          let rng = Option.get pool.rng in
+          let k = Random.State.int rng pool.len in
+          let t = pool.arr.(k) in
+          pool.len <- pool.len - 1;
+          pool.arr.(k) <- pool.arr.(pool.len);
+          Some t
+        end
 end
 
 let default_max_steps = 10_000
 
-let run ?(strategy = Fifo) ?(max_steps = default_max_steps) ?(naming = `Fresh) ?gen tgds database
-    =
+(* Budget-exhaustion status: every trigger that is still active on the
+   final instance sits in the pool (a trigger is discovered when its last
+   body atom is added; applied or inactive ones stay inactive forever by
+   monotonicity), so draining the pool until the first active candidate
+   answers Terminated-vs-Out_of_budget without re-enumerating all
+   triggers. *)
+let drain_status pool is_active =
+  let rec go () =
+    match Pool.pop pool with
+    | None -> Derivation.Terminated
+    | Some t -> if is_active t then Derivation.Out_of_budget else go ()
+  in
+  go ()
+
+let resolve_gen naming gen =
   (* [`Canonical] names nulls c^{σ,h}_x as in Def 3.1, so produced atoms
      coincide literally with real-oblivious-chase atoms (used when mapping
      derivations into ochase(D,T)); [`Fresh] uses a cheap counter. *)
-  let gen =
-    match (naming, gen) with
-    | `Canonical, _ -> None
-    | `Fresh, Some g -> Some g
-    | `Fresh, None -> Some (Term.Gen.create ())
-  in
+  match (naming, gen) with
+  | `Canonical, _ -> None
+  | `Fresh, Some g -> Some g
+  | `Fresh, None -> Some (Term.Gen.create ())
+
+let run_naive ~strategy ~max_steps ~gen tgds database =
   let pool = Pool.create strategy in
-  Seq.iter (Pool.push pool) (Trigger.all tgds database);
+  Pool.push_batch pool (List.of_seq (Trigger.all_naive tgds database));
   let rec loop instance steps_rev n =
     if n >= max_steps then
-      (* Budget exhausted; find out whether anything was actually left. *)
-      let status =
-        if Trigger.all tgds instance |> Seq.exists (Trigger.is_active instance) then
-          Derivation.Out_of_budget
-        else Derivation.Terminated
-      in
+      let status = drain_status pool (Trigger.is_active_naive instance) in
       Derivation.make ~database ~steps:(List.rev steps_rev) ~status
     else
       match Pool.pop pool with
       | None -> Derivation.make ~database ~steps:(List.rev steps_rev) ~status:Terminated
       | Some trigger ->
-          if not (Trigger.is_active instance trigger) then loop instance steps_rev n
+          if not (Trigger.is_active_naive instance trigger) then loop instance steps_rev n
           else begin
             let after, produced = Trigger.apply ?gen instance trigger in
             List.iter
-              (fun atom -> Seq.iter (Pool.push pool) (Trigger.involving tgds after atom))
+              (fun atom ->
+                Pool.push_batch pool (List.of_seq (Trigger.involving_naive tgds after atom)))
               produced;
+            let step =
+              {
+                Derivation.index = n;
+                trigger;
+                produced;
+                frontier = Trigger.frontier_terms trigger;
+                after = Lazy.from_val after;
+              }
+            in
+            loop after (step :: steps_rev) (n + 1)
+          end
+  in
+  loop database [] 0
+
+let run_compiled ~strategy ~max_steps ~gen tgds database =
+  let m = Minstance.of_instance database in
+  let src = Plan.source_of_minstance m in
+  let plans = List.map (fun tgd -> (tgd, Plan.of_tgd tgd)) tgds in
+  let memo = Plan.Head_memo.create () in
+  (* Every trigger in this run carries a tgd from [plans] itself, so the
+     plan lookup on the pop path can be physical equality. *)
+  let plan_of tgd =
+    match List.find_opt (fun (t, _) -> t == tgd) plans with
+    | Some (_, p) -> p
+    | None -> Plan.of_tgd tgd
+  in
+  let is_active trigger =
+    Plan.Head_memo.is_active memo (plan_of (Trigger.tgd trigger)) src (Trigger.hom trigger)
+  in
+  let pool = Pool.create strategy in
+  let seed = ref [] in
+  List.iter
+    (fun (tgd, p) -> Plan.iter_homs p src (fun hom -> seed := Trigger.make tgd hom :: !seed))
+    plans;
+  Pool.push_batch pool !seed;
+  let rec loop prev steps_rev n =
+    if n >= max_steps then
+      let status = drain_status pool is_active in
+      Derivation.make ~database ~steps:(List.rev steps_rev) ~status
+    else
+      match Pool.pop pool with
+      | None -> Derivation.make ~database ~steps:(List.rev steps_rev) ~status:Terminated
+      | Some trigger ->
+          if not (is_active trigger) then loop prev steps_rev n
+          else begin
+            let produced = Trigger.result ?gen trigger in
+            List.iter (fun atom -> ignore (Minstance.add m atom)) produced;
+            List.iter
+              (fun atom ->
+                let batch = ref [] in
+                List.iter
+                  (fun (tgd, p) ->
+                    Plan.iter_delta_homs p src atom (fun hom ->
+                        batch := Trigger.make tgd hom :: !batch))
+                  plans;
+                Pool.push_batch pool !batch)
+              produced;
+            let after =
+              lazy (List.fold_left (fun i a -> Instance.add a i) (Lazy.force prev) produced)
+            in
             let step =
               {
                 Derivation.index = n;
@@ -122,13 +210,20 @@ let run ?(strategy = Fifo) ?(max_steps = default_max_steps) ?(naming = `Fresh) ?
             loop after (step :: steps_rev) (n + 1)
           end
   in
-  loop database [] 0
+  loop (Lazy.from_val database) [] 0
+
+let run ?(backend = `Compiled) ?(strategy = Fifo) ?(max_steps = default_max_steps)
+    ?(naming = `Fresh) ?gen tgds database =
+  let gen = resolve_gen naming gen in
+  match backend with
+  | `Naive -> run_naive ~strategy ~max_steps ~gen tgds database
+  | `Compiled -> run_compiled ~strategy ~max_steps ~gen tgds database
 
 (* Convenience: chase to completion or fail. *)
 exception Did_not_terminate of Derivation.t
 
-let run_exn ?strategy ?max_steps ?naming ?gen tgds database =
-  let d = run ?strategy ?max_steps ?naming ?gen tgds database in
+let run_exn ?backend ?strategy ?max_steps ?naming ?gen tgds database =
+  let d = run ?backend ?strategy ?max_steps ?naming ?gen tgds database in
   match Derivation.status d with
   | Terminated -> Derivation.final d
   | Out_of_budget -> raise (Did_not_terminate d)

@@ -9,11 +9,20 @@ type strategy =
   | Lifo  (** newest candidate first — depth-first, possibly unfair *)
   | Random of int  (** uniformly random active candidate, seeded *)
 
+(** Matching backend.  [`Compiled] (default): compiled join plans over a
+    mutable hash-indexed instance with memoized head satisfaction.
+    [`Naive]: the generic homomorphism search over the persistent
+    instance.  Both produce {e identical} derivations for every strategy
+    (candidates enter the pool in canonically sorted batches), which the
+    property tests check. *)
+type backend = [ `Compiled | `Naive ]
+
 val default_max_steps : int
 
 (** Run the restricted chase.  Stops when no active trigger remains
     ([Terminated]) or after [max_steps] applications ([Out_of_budget]). *)
 val run :
+  ?backend:backend ->
   ?strategy:strategy ->
   ?max_steps:int ->
   ?naming:[ `Fresh | `Canonical ] ->
@@ -27,6 +36,7 @@ exception Did_not_terminate of Derivation.t
 (** The final instance of a terminating run.
     @raise Did_not_terminate when the budget runs out first. *)
 val run_exn :
+  ?backend:backend ->
   ?strategy:strategy ->
   ?max_steps:int ->
   ?naming:[ `Fresh | `Canonical ] ->

@@ -1,1 +1,1 @@
-lib/termination/chaseable.ml: Array Atom Chase_core Chase_engine Derivation Hashtbl Instance Int List Option Printf Queue Real_oblivious Set Trigger
+lib/termination/chaseable.ml: Array Atom Chase_core Chase_engine Derivation Hashtbl Instance Int Lazy List Option Printf Queue Real_oblivious Set Trigger

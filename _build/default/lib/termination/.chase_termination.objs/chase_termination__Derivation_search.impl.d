@@ -1,1 +1,1 @@
-lib/termination/derivation_search.ml: Atom Chase_core Chase_engine Derivation Hashtbl Instance List Printf Restricted String Term Trigger
+lib/termination/derivation_search.ml: Atom Chase_core Chase_engine Derivation Hashtbl Instance Lazy List Printf Restricted String Term Trigger

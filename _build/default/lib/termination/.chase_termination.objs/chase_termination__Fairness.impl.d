@@ -1,1 +1,1 @@
-lib/termination/fairness.ml: Array Chase_core Chase_engine Derivation Equality_type Fun Instance Int List Option Printf Schema Seq Stop Substitution Tgd Trigger
+lib/termination/fairness.ml: Array Chase_core Chase_engine Derivation Equality_type Fun Instance Int Lazy List Option Printf Schema Seq Stop Substitution Tgd Trigger

@@ -102,7 +102,7 @@ let explore ?(max_depth = default_max_depth) ?(max_states = default_max_states) 
                   trigger;
                   produced;
                   frontier = Trigger.frontier_terms trigger;
-                  after;
+                  after = Lazy.from_val after;
                 }
               in
               visit after (depth + 1) (step :: path))
@@ -149,7 +149,7 @@ let some_terminating_derivation ?(max_depth = default_max_depth)
                     trigger;
                     produced;
                     frontier = Trigger.frontier_terms trigger;
-                    after;
+                    after = Lazy.from_val after;
                   }
                 in
                 visit after (depth + 1) (step :: path))

@@ -81,3 +81,61 @@ let join_heavy ~rows =
     add (Atom.make "cdim" [ c "z%d" z ])
   done;
   { name = Printf.sprintf "join-%d" rows; tgds; database = !database; facts = Instance.cardinal !database }
+
+(* Skewed-join scenarios: one "hub" constant owns a bucket of [n + pad]
+   atoms at a join position, the realistic shape of hub nodes in graph
+   data.  A matcher that inspects bucket *cardinalities* to pick an index
+   pays for the fat bucket on every probe unless the count is O(1), so
+   these separate count-based index selection from candidate scanning. *)
+
+(* Propagation around an [n]-cycle: each step joins through the hub
+   bucket; head is existential-free, so the chase makes exactly [n]
+   steps. *)
+let hub_propagation ~n ~pad =
+  let tgds =
+    Chase_parser.Parser.parse_tgds {|t: r(X), e(X,Y), eZ(X,Z), m(Y,Z) -> r(Y).|}
+  in
+  let database = ref Instance.empty in
+  let add a = database := Instance.add a !database in
+  for i = 0 to n - 1 do
+    add (Atom.make "e" [ c "v%d" i; c "v%d" ((i + 1) mod n) ]);
+    add (Atom.make "eZ" [ c "v%d" i; Term.Const "hub" ]);
+    add (Atom.make "m" [ c "v%d" i; Term.Const "hub" ])
+  done;
+  for j = 0 to pad - 1 do
+    add (Atom.make "m" [ c "d%d" j; Term.Const "hub" ])
+  done;
+  add (Atom.make "r" [ c "v%d" 0 ]);
+  {
+    name = Printf.sprintf "hub-%d+%d" n pad;
+    tgds;
+    database = !database;
+    facts = Instance.cardinal !database;
+  }
+
+(* The source-to-target variant: the skewed join feeds an existential,
+   and a second mapping folds the invented value back into the source
+   side, so the chase alternates invention and propagation (2n steps). *)
+let hub_exchange ~n ~pad =
+  let tgds =
+    Chase_parser.Parser.parse_tgds
+      {|s1: src(X), e(X,Y), near(X,H), link(Y,H) -> exists W. tgt(Y,W).
+        s2: tgt(Y,W) -> src(Y).|}
+  in
+  let database = ref Instance.empty in
+  let add a = database := Instance.add a !database in
+  for i = 0 to n - 1 do
+    add (Atom.make "e" [ c "v%d" i; c "v%d" ((i + 1) mod n) ]);
+    add (Atom.make "near" [ c "v%d" i; Term.Const "hub" ]);
+    add (Atom.make "link" [ c "v%d" i; Term.Const "hub" ])
+  done;
+  for j = 0 to pad - 1 do
+    add (Atom.make "link" [ c "d%d" j; Term.Const "hub" ])
+  done;
+  add (Atom.make "src" [ c "v%d" 0 ]);
+  {
+    name = Printf.sprintf "hubx-%d+%d" n pad;
+    tgds;
+    database = !database;
+    facts = Instance.cardinal !database;
+  }

@@ -1,0 +1,1 @@
+test/suite_compiled.ml: Atom Chase_core Chase_engine Chase_workload Derivation Gen Instance List Minstance Oblivious Plan QCheck2 QCheck_alcotest Restricted Schema Seq Set Test Tgen Trigger

@@ -5,5 +5,6 @@ let () =
    @ Suite_sticky.suite @ Suite_guarded.suite @ Suite_fairness.suite @ Suite_mfa.suite
    @ Suite_deciders.suite @ Suite_extract.suite @ Suite_finitary.suite @ Suite_msol.suite
    @ Suite_query.suite
-   @ Suite_structure.suite @ Suite_negative.suite @ Suite_properties.suite @ Suite_workload.suite
+   @ Suite_structure.suite @ Suite_negative.suite @ Suite_properties.suite
+   @ Suite_compiled.suite @ Suite_workload.suite
    @ Suite_scenarios.suite)

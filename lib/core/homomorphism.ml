@@ -102,8 +102,61 @@ let find ?frozen ?init patterns instance =
 
 let exists ?frozen ?init patterns instance = Option.is_some (find ?frozen ?init patterns instance)
 
+(* Instance-to-instance embedding: the pattern side is a whole instance,
+   so instead of materialising [Instance.to_list] per call we fill an
+   array straight from the instance iterator and run an eager,
+   exception-exited backtracking search over it.  The most-bound-first
+   selection swaps the chosen atom into the search prefix in place; the
+   suffix order is irrelevant, so no undo is needed on backtrack. *)
+
+exception Found_hom of Substitution.t
+
+let search_array ?(frozen = Term.Set.empty) ?(init = Substitution.empty) pats instance =
+  let n = Array.length pats in
+  let rec go k s =
+    if k >= n then raise (Found_hom s)
+    else begin
+      let best = ref k and best_score = ref (boundness frozen s pats.(k)) in
+      for j = k + 1 to n - 1 do
+        let score = boundness frozen s pats.(j) in
+        if score > !best_score then begin
+          best := j;
+          best_score := score
+        end
+      done;
+      let tmp = pats.(k) in
+      pats.(k) <- pats.(!best);
+      pats.(!best) <- tmp;
+      let p = pats.(k) in
+      List.iter
+        (fun target ->
+          match match_atom ~frozen ~pattern:p ~target s with
+          | Some s' -> go (k + 1) s'
+          | None -> ())
+        (candidates frozen s instance p)
+    end
+  in
+  try
+    go 0 init;
+    None
+  with Found_hom s -> Some s
+
+let pattern_array i =
+  let n = Instance.cardinal i in
+  if n = 0 then [||]
+  else begin
+    let arr = Array.make n (Atom.make "" []) in
+    let k = ref 0 in
+    Instance.iter
+      (fun a ->
+        arr.(!k) <- a;
+        incr k)
+      i;
+    arr
+  end
+
 (* Homomorphism between instances: atoms of [i] into [into]. *)
-let embed i ~into = find (Instance.to_list i) into
+let embed i ~into = search_array (pattern_array i) into
 let embeds i ~into = Option.is_some (embed i ~into)
 
 (* Homomorphic equivalence. *)
@@ -140,4 +193,4 @@ let isomorphic_upto_constants a b = isomorphic (generalize a) (generalize b)
    used by tests: is there a hom from [i] into [i] avoiding atom [a]? *)
 let retracts_away i atom =
   let smaller = Instance.remove atom i in
-  exists (Instance.to_list i) smaller
+  Option.is_some (search_array (pattern_array i) smaller)

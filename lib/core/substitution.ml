@@ -46,6 +46,8 @@ let domain s = Term.Map.fold (fun t _ acc -> Term.Set.add t acc) s Term.Set.empt
 let range s = Term.Map.fold (fun _ u acc -> Term.Set.add u acc) s Term.Set.empty
 
 let bindings = Term.Map.bindings
+let fold = Term.Map.fold
+let iter = Term.Map.iter
 let of_bindings bs = List.fold_left (fun s (t, u) -> bind t u s) empty bs
 let cardinal = Term.Map.cardinal
 

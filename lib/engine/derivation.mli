@@ -7,8 +7,13 @@ type step = {
   trigger : Trigger.t;
   produced : Atom.t list;
   frontier : Term.Set.t;  (** frontier terms of the produced atoms *)
-  after : Instance.t;  (** snapshot right after this step *)
+  after : Instance.t Lazy.t;
+      (** snapshot right after this step; lazy so engines on a mutable
+          backend only pay for persistent snapshots that are inspected *)
 }
+
+(** Forced snapshot right after the step. *)
+val step_after : step -> Instance.t
 
 type status =
   | Terminated  (** no active trigger remains — a finite, valid derivation *)

@@ -82,7 +82,7 @@ let run tgds (result : Parallel.result) =
               trigger;
               produced = [ atom ];
               frontier = Trigger.frontier_terms trigger;
-              after;
+              after = Lazy.from_val after;
             }
           in
           go rest after (step :: steps) (index + 1) (born + 1) stopped

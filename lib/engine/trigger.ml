@@ -22,19 +22,57 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+(* Structural hash compatible with [equal]; the TGD contributes only its
+   name (TGD sets in a run are tiny — collisions there are harmless). *)
+let hash t =
+  Substitution.fold
+    (fun v u acc -> (((acc * 65599) + Term.hash v) * 31) + Term.hash u)
+    t.hom
+    (Hashtbl.hash (Tgd.name t.tgd))
+  land max_int
+
 (* h|fr(σ). *)
 let frontier_hom t = Substitution.restrict (Tgd.frontier t.tgd) t.hom
 
-(* All triggers for the TGDs on the instance. *)
+(* All triggers for the TGDs on the instance — compiled-plan enumeration
+   (the plans are memoized per TGD, so repeated calls re-plan nothing).
+   The list is materialised eagerly; plan scratch state is per-call, but
+   eagerness keeps the Seq safe to retraverse and interleave. *)
 let all tgds instance =
+  let src = Plan.source_of_instance instance in
+  let out = ref [] in
+  List.iter
+    (fun tgd ->
+      Plan.iter_homs (Plan.of_tgd tgd) src (fun hom -> out := { tgd; hom } :: !out))
+    tgds;
+  List.to_seq (List.rev !out)
+
+(* Triggers whose body uses the given atom (for incremental chasing):
+   seed each body position with [atom] and run the compiled suffix. *)
+let involving tgds instance atom =
+  let src = Plan.source_of_instance instance in
+  let out = ref [] in
+  List.iter
+    (fun tgd ->
+      Plan.iter_delta_homs (Plan.of_tgd tgd) src atom (fun hom -> out := { tgd; hom } :: !out))
+    tgds;
+  List.to_seq (List.rev !out)
+
+(* (σ, h) is active on I iff there is no h' ⊇ h|fr(σ) with h'(head) ⊆ I
+   (Def 3.1; for multi-head TGDs all head atoms must be present). *)
+let is_active instance t =
+  not (Plan.head_satisfied (Plan.of_tgd t.tgd) (Plan.source_of_instance instance) t.hom)
+
+(* Reference implementations on the generic homomorphism search.  The
+   engines' default paths run on compiled plans; these stay around as the
+   oracle the property tests compare against (and as executable
+   documentation of Def 3.1). *)
+let all_naive tgds instance =
   List.to_seq tgds
   |> Seq.concat_map (fun tgd ->
          Homomorphism.all (Tgd.body tgd) instance |> Seq.map (fun hom -> { tgd; hom }))
 
-(* Triggers whose body uses the given atom (for incremental chasing): for
-   each body atom γ that matches [atom], complete the rest of the body
-   against [instance]. *)
-let involving tgds instance atom =
+let involving_naive tgds instance atom =
   List.to_seq tgds
   |> Seq.concat_map (fun tgd ->
          let body = Tgd.body tgd in
@@ -47,9 +85,7 @@ let involving tgds instance atom =
                     Homomorphism.all ~init rest instance
                     |> Seq.map (fun hom -> { tgd; hom })))
 
-(* (σ, h) is active on I iff there is no h' ⊇ h|fr(σ) with h'(head) ⊆ I
-   (Def 3.1; for multi-head TGDs all head atoms must be present). *)
-let is_active instance t =
+let is_active_naive instance t =
   let init = frontier_hom t in
   not (Homomorphism.exists ~init (Tgd.head t.tgd) instance)
 
@@ -98,8 +134,13 @@ let result ?gen t =
 
 (* The frontier terms of the produced atoms: { h(x) : x ∈ fr(σ) }.  These
    are exactly the terms occurring at frontier positions of the result
-   (Def 3.1), and are what the stop relation must fix. *)
-let frontier_terms t = Substitution.range (frontier_hom t)
+   (Def 3.1), and are what the stop relation must fix.  Built directly
+   from the frontier variables, skipping the restricted-map intermediate
+   of [frontier_hom]. *)
+let frontier_terms t =
+  Term.Set.fold
+    (fun x acc -> Term.Set.add (Substitution.apply_term t.hom x) acc)
+    (Tgd.frontier t.tgd) Term.Set.empty
 
 (* An application I⟨σ,h⟩J (Def 3.1). *)
 let apply ?gen instance t =

@@ -10,19 +10,30 @@ val hom : t -> Substitution.t
 val compare : t -> t -> int
 val equal : t -> t -> bool
 
+(** Structural hash compatible with [equal] (for hashed dedup sets). *)
+val hash : t -> int
+
 (** h|fr(σ). *)
 val frontier_hom : t -> Substitution.t
 
-(** All triggers for the TGDs on the instance, lazily. *)
+(** All triggers for the TGDs on the instance, via compiled plans
+    ({!Plan}).  Materialised eagerly; safe to retraverse. *)
 val all : Tgd.t list -> Instance.t -> t Seq.t
 
 (** Triggers whose body match uses the given atom — the incremental
-    frontier of the chase. *)
+    frontier of the chase, via compiled delta plans. *)
 val involving : Tgd.t list -> Instance.t -> Atom.t -> t Seq.t
 
 (** Active trigger test: no extension of [h|fr(σ)] maps the head into the
     instance. *)
 val is_active : Instance.t -> t -> bool
+
+(** Reference implementations on the generic homomorphism search — the
+    oracle that the compiled-plan paths are property-tested against. *)
+
+val all_naive : Tgd.t list -> Instance.t -> t Seq.t
+val involving_naive : Tgd.t list -> Instance.t -> Atom.t -> t Seq.t
+val is_active_naive : Instance.t -> t -> bool
 
 (** The canonical null c^{σ,h}_x for an existential variable name [x]. *)
 val canonical_null : t -> string -> Term.t

@@ -125,7 +125,7 @@ let to_derivation graph nodes =
                         trigger;
                         produced = [ n.Real_oblivious.atom ];
                         frontier = Trigger.frontier_terms trigger;
-                        after;
+                        after = Lazy.from_val after;
                       }
                     in
                     go after (step :: steps) (index + 1) rest)

@@ -22,3 +22,11 @@ val deep : depth:int -> width:int -> scenario
 (** Two-way joins feeding an existential — stresses the homomorphism
     index. *)
 val join_heavy : rows:int -> scenario
+
+(** Propagation around an [n]-cycle joining through a skewed hub bucket
+    of [n + pad] atoms; terminates after exactly [n] steps. *)
+val hub_propagation : n:int -> pad:int -> scenario
+
+(** Source-to-target variant of the skewed hub join: invention plus
+    fold-back, 2[n] steps. *)
+val hub_exchange : n:int -> pad:int -> scenario

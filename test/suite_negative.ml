@@ -137,7 +137,7 @@ let caterpillar_tests =
             trigger;
             produced;
             frontier = Trigger.frontier_terms trigger;
-            after;
+            after = Lazy.from_val after;
           }
         in
         let d = Derivation.make ~database:db ~steps:[ step ] ~status:Derivation.Out_of_budget in
