@@ -25,7 +25,11 @@ examples:
 gallery:
 	dune exec examples/termination_gallery.exe
 
+# API docs via odoc (warnings are fatal; see the root `dune` env stanza).
+doc:
+	dune build @doc
+
 clean:
 	dune clean
 
-.PHONY: all test bench bench-smoke examples gallery clean
+.PHONY: all test bench bench-smoke examples gallery doc clean

@@ -1,7 +1,12 @@
 (* Shared helpers for the benchmark harness: Bechamel-based timing and
    plain-text table rendering. *)
 
+(* Timed closures always run with observability suspended: the driver
+   may have a stats sink installed to snapshot counters per experiment,
+   and measured throughput must stay sink-free (BENCH acceptance: the
+   instrumented engine with no sink is within noise of the PR 1 one). *)
 let measure_ns ?(quota = 0.25) name fn =
+  Obs.suspended @@ fun () ->
   let open Bechamel in
   let test = Test.make ~name (Staged.stage fn) in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
@@ -24,6 +29,7 @@ let pretty_ns ns =
 (* One-shot wall-clock for heavyweight runs where Bechamel sampling would
    be too slow.  Reported in the same pretty format. *)
 let once_ns fn =
+  Obs.suspended @@ fun () ->
   let t0 = Unix.gettimeofday () in
   ignore (fn ());
   let t1 = Unix.gettimeofday () in
@@ -59,10 +65,16 @@ let program src =
   let p = Chase_parser.Parser.parse_program src in
   (Chase_parser.Program.tgds p, Chase_parser.Program.database p)
 
-(* Machine-readable results (--json): experiments push flat records here;
-   the driver dumps them to BENCH_results.json.  Hand-rolled writer — the
-   rows are flat and the tree has no JSON dependency. *)
-type json_value = Num of float | Int of int | Str of string | Bool of bool
+(* Machine-readable results (--json): experiments push records here; the
+   driver dumps them to BENCH_results.json.  Hand-rolled writer — the
+   rows are shallow (one [Obj] level for counter snapshots) and the tree
+   has no JSON dependency. *)
+type json_value =
+  | Num of float
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | Obj of (string * json_value) list
 
 let json_rows : (string * (string * json_value) list) list ref = ref []
 
@@ -88,16 +100,20 @@ let write_json path =
     (fun i (experiment, fields) ->
       if i > 0 then Buffer.add_string buf ",\n";
       Buffer.add_string buf (Printf.sprintf "  {\"experiment\": \"%s\"" (json_escape experiment));
+      let rec value_str = function
+        | Num f -> if Float.is_nan f then "null" else Printf.sprintf "%.6g" f
+        | Int n -> string_of_int n
+        | Str s -> "\"" ^ json_escape s ^ "\""
+        | Bool b -> string_of_bool b
+        | Obj kvs ->
+            "{"
+            ^ String.concat ", "
+                (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" (json_escape k) (value_str v)) kvs)
+            ^ "}"
+      in
       List.iter
         (fun (k, v) ->
-          let v =
-            match v with
-            | Num f -> if Float.is_nan f then "null" else Printf.sprintf "%.6g" f
-            | Int n -> string_of_int n
-            | Str s -> "\"" ^ json_escape s ^ "\""
-            | Bool b -> string_of_bool b
-          in
-          Buffer.add_string buf (Printf.sprintf ", \"%s\": %s" (json_escape k) v))
+          Buffer.add_string buf (Printf.sprintf ", \"%s\": %s" (json_escape k) (value_str v)))
         fields;
       Buffer.add_string buf "}")
     (List.rev !json_rows);

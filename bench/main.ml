@@ -737,7 +737,19 @@ let experiments =
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
   ]
 
+(* Each experiment runs under a stats sink so BENCH_results.json carries
+   a per-experiment counter snapshot (which engine paths fired, how
+   often) next to the timings — regressions become diagnosable, not just
+   detectable.  Timed closures are exempt: measure_ns/once_ns suspend
+   the sink, so the numbers are those of the uninstrumented hot path. *)
+let run_with_counters name f =
+  let st = Obs.Stats.create () in
+  Obs.with_sink (Obs.Stats.sink st) f;
+  let fields = List.map (fun (k, v) -> (k, Int v)) (Obs.Stats.counters st) in
+  if fields <> [] then record name [ ("counters", Obj fields) ]
+
 let () =
+  Obs.set_clock Unix.gettimeofday;
   let args = List.tl (Array.to_list Sys.argv) in
   let json = List.mem "--json" args in
   smoke := List.mem "--smoke" args;
@@ -746,7 +758,7 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f -> run_with_counters name f
       | None -> Printf.eprintf "unknown experiment %s\n" name)
     selected;
   if json then begin

@@ -8,7 +8,11 @@
      chasectl automaton FILE         sticky Büchi automaton anatomy
      chasectl scenarios              list the built-in scenario gallery
 
-   FILE contains TGDs and facts in the surface syntax; use '-' for stdin. *)
+   FILE contains TGDs and facts in the surface syntax; use '-' for stdin.
+
+   chase, decide, automaton and ochase take --stats (counter/span summary
+   on stderr) and --trace-json FILE (JSON-lines event trace; the schema
+   is documented in docs/OBSERVABILITY.md). *)
 
 open Cmdliner
 
@@ -33,6 +37,44 @@ let or_die = function
   | Error msg ->
       prerr_endline msg;
       exit 2
+
+(* --- observability --------------------------------------------------- *)
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"After the run, print engine counters, gauges and span timings to stderr.")
+
+let trace_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the observability event stream to $(docv) as JSON lines (one object per \
+           counter/gauge/span/event; schema in docs/OBSERVABILITY.md).")
+
+(* Run [f] with the sinks requested by --stats/--trace-json installed;
+   with neither flag, no sink is installed and instrumentation stays
+   near-free.  The stats table lands on stderr so stdout remains the
+   machine-readable result. *)
+let with_obs ~stats ~trace_json f =
+  let stats_t = if stats then Some (Obs.Stats.create ()) else None in
+  let trace_oc = Option.map open_out trace_json in
+  let sinks =
+    Option.to_list (Option.map Obs.Stats.sink stats_t)
+    @ Option.to_list (Option.map Obs.Jsonl.channel_sink trace_oc)
+  in
+  match sinks with
+  | [] -> f ()
+  | first :: rest ->
+      Obs.set_clock Unix.gettimeofday;
+      Fun.protect
+        ~finally:(fun () ->
+          Option.iter close_out trace_oc;
+          Option.iter (fun t -> Format.eprintf "%a@." Obs.Stats.pp t) stats_t)
+        (fun () -> Obs.with_sink (List.fold_left Obs.tee first rest) f)
 
 (* --- classify -------------------------------------------------------- *)
 
@@ -68,10 +110,11 @@ let max_steps_arg =
 let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Print the derivation trace.")
 
 let chase_cmd =
-  let run file engine strategy seed max_steps trace =
+  let run file engine strategy seed max_steps trace stats trace_json =
     let p = or_die (load file) in
     let tgds = Chase_parser.Program.tgds p in
     let db = Chase_parser.Program.database p in
+    with_obs ~stats ~trace_json @@ fun () ->
     match engine with
     | `Restricted ->
         let strategy =
@@ -102,14 +145,19 @@ let chase_cmd =
           r.Chase_engine.Oblivious.saturated
   in
   Cmd.v (Cmd.info "chase" ~doc:"Run a chase engine on the program's database.")
-    Term.(const run $ file_arg $ engine_arg $ strategy_arg $ seed_arg $ max_steps_arg $ trace_arg)
+    Term.(
+      const run $ file_arg $ engine_arg $ strategy_arg $ seed_arg $ max_steps_arg $ trace_arg
+      $ stats_arg $ trace_json_arg)
 
 (* --- decide ---------------------------------------------------------- *)
 
 let decide_cmd =
-  let run file =
+  let run file stats trace_json =
     let p = or_die (load file) in
-    let report = Chase_termination.Decider.decide (Chase_parser.Program.tgds p) in
+    let report =
+      with_obs ~stats ~trace_json @@ fun () ->
+      Chase_termination.Decider.decide (Chase_parser.Program.tgds p)
+    in
     Format.printf "%a@." Chase_termination.Decider.pp report;
     match report.Chase_termination.Decider.answer with
     | Chase_termination.Decider.Terminating -> exit 0
@@ -121,7 +169,7 @@ let decide_cmd =
        ~doc:
          "Decide all-instances restricted chase termination (exit 0 = terminating, 1 = \
           non-terminating, 3 = unknown).")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ stats_arg $ trace_json_arg)
 
 (* --- query ----------------------------------------------------------- *)
 
@@ -155,7 +203,7 @@ let query_cmd =
 (* --- automaton ------------------------------------------------------- *)
 
 let automaton_cmd =
-  let run file =
+  let run file stats trace_json =
     let p = or_die (load file) in
     let tgds = Chase_parser.Program.tgds p in
     (match Chase_classes.Stickiness.is_sticky tgds with
@@ -163,6 +211,7 @@ let automaton_cmd =
         prerr_endline "the TGD set is not sticky";
         exit 2
     | true -> ());
+    with_obs ~stats ~trace_json @@ fun () ->
     let ctx = Chase_termination.Sticky_automaton.make_context tgds in
     let comps = Chase_termination.Sticky_automaton.components ctx in
     Format.printf "alphabet: %d letters, components: %d@."
@@ -183,16 +232,19 @@ let automaton_cmd =
       comps
   in
   Cmd.v (Cmd.info "automaton" ~doc:"Anatomy of the sticky Büchi automaton A_T.")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ stats_arg $ trace_json_arg)
 
 (* --- ochase ---------------------------------------------------------- *)
 
 let ochase_cmd =
-  let run file max_depth dot =
+  let run file max_depth dot stats trace_json =
     let p = or_die (load file) in
     let tgds = Chase_parser.Program.tgds p in
     let db = Chase_parser.Program.database p in
-    let g = Chase_engine.Real_oblivious.build ~max_depth ~max_nodes:2_000 tgds db in
+    let g =
+      with_obs ~stats ~trace_json @@ fun () ->
+      Chase_engine.Real_oblivious.build ~max_depth ~max_nodes:2_000 tgds db
+    in
     if dot then print_string (Chase_termination.Dot.real_oblivious g)
     else Format.printf "%a@." Chase_engine.Real_oblivious.pp g
   in
@@ -202,7 +254,7 @@ let ochase_cmd =
   let dot_arg = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT.") in
   Cmd.v
     (Cmd.info "ochase" ~doc:"Materialize the real oblivious chase (Def 3.3), optionally as DOT.")
-    Term.(const run $ file_arg $ depth_arg $ dot_arg)
+    Term.(const run $ file_arg $ depth_arg $ dot_arg $ stats_arg $ trace_json_arg)
 
 (* --- extract --------------------------------------------------------- *)
 

@@ -46,6 +46,7 @@ let explore ?(max_states = default_max_states) a =
     match Hashtbl.find_opt index key with
     | Some i -> i
     | None ->
+        Obs.incr "buchi.states";
         let i = !count in
         incr count;
         Hashtbl.add index key i;
@@ -67,9 +68,11 @@ let explore ?(max_states = default_max_states) a =
           | Some s' ->
               if !count >= max_states && not (Hashtbl.mem index (a.state_key s')) then
                 over := true
-              else
+              else begin
+                Obs.incr "buchi.transitions";
                 let j = register s' in
-                outs := (li, j) :: !outs)
+                outs := (li, j) :: !outs
+              end)
       a.alphabet;
     Hashtbl.replace edges i !outs
   done;
@@ -131,6 +134,7 @@ let sccs n succ =
   (comp, !ncomp)
 
 let emptiness ?max_states a =
+  Obs.span "buchi.emptiness" @@ fun () ->
   match explore ?max_states a with
   | Error n -> Budget_exceeded n
   | Ok (states, edges, n) ->
@@ -207,7 +211,14 @@ let emptiness ?max_states a =
           in
           let prefix = if acc = 0 then Some [] else bfs ~restrict:false 0 acc in
           (match (prefix, cycle) with
-          | Some p, Some c -> Nonempty { prefix = p; cycle = c }
+          | Some p, Some c ->
+              if Obs.enabled () then
+                Obs.event "lasso"
+                  [
+                    ("prefix", Obs.Int (List.length p)); ("cycle", Obs.Int (List.length c));
+                    ("states", Obs.Int n);
+                  ];
+              Nonempty { prefix = p; cycle = c }
           | _ -> Empty (* unreachable: acc was picked reachable in a good SCC *)))
 
 let is_empty ?max_states a =

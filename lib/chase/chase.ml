@@ -7,6 +7,10 @@
    Each alias points into the focused library that owns the module; see
    docs/PAPER_MAP.md for the paper-to-module index. *)
 
+(* observability (chase_obs is unwrapped, so [Obs] is also usable
+   directly; the alias keeps the umbrella complete) *)
+module Obs = Obs
+
 (* core *)
 module Term = Chase_core.Term
 module Atom = Chase_core.Atom

@@ -67,8 +67,12 @@ let tp_push tbl key a =
   | None -> TpTbl.add tbl key { atoms = [ a ]; count = 1 }
 
 let add m a =
-  if AtomTbl.mem m.members a then false
+  if AtomTbl.mem m.members a then begin
+    Obs.incr "minstance.dup";
+    false
+  end
   else begin
+    Obs.incr "minstance.add";
     AtomTbl.add m.members a ();
     bucket_push m.by_pred (Atom.pred a) a;
     let p = Atom.pred a in
@@ -108,6 +112,7 @@ let snapshot m =
   | pending ->
       (* [pending] is newest first; insertion order does not matter for a
          set, so fold directly. *)
+      Obs.count "minstance.snapshot.folds" (List.length pending);
       let snap = List.fold_left (fun i a -> Instance.add a i) m.snap pending in
       m.snap <- snap;
       m.pending <- [];

@@ -44,11 +44,35 @@ let make_enqueue variant queue =
     List.iter
       (fun t ->
         let key = applied_key variant t in
-        if not (TrigTbl.mem applied key) then begin
+        if TrigTbl.mem applied key then Obs.incr "oblivious.dup"
+        else begin
+          Obs.incr "oblivious.enqueue";
           TrigTbl.add applied key ();
           Queue.add t queue
         end)
       (List.sort Trigger.compare ts)
+
+let variant_name = function Oblivious -> "oblivious" | Semi_oblivious -> "semi_oblivious"
+
+let obs_run_start ~variant ~backend ~max_steps database =
+  if Obs.enabled () then
+    Obs.event "run"
+      [
+        ("engine", Obs.Str (variant_name variant));
+        ("backend", Obs.Str (match backend with `Compiled -> "compiled" | `Naive -> "naive"));
+        ("max_steps", Obs.Int max_steps);
+        ("database_atoms", Obs.Int (Instance.cardinal database));
+      ]
+
+let obs_done (r : result) =
+  if Obs.enabled () then
+    Obs.event "done"
+      [
+        ("engine", Obs.Str "oblivious");
+        ("applications", Obs.Int r.applications);
+        ("saturated", Obs.Bool r.saturated);
+        ("atoms", Obs.Int (Instance.cardinal r.instance));
+      ]
 
 let run_naive ~variant ~max_steps tgds database =
   let queue = Queue.create () in
@@ -59,6 +83,7 @@ let run_naive ~variant ~max_steps tgds database =
     else if n >= max_steps then { instance; applications = n; saturated = false }
     else
       let trigger = Queue.pop queue in
+      Obs.incr "oblivious.applications";
       (* Canonical nulls: no generator, so re-derived atoms coincide. *)
       let after, produced = Trigger.apply instance trigger in
       List.iter
@@ -87,10 +112,12 @@ let run_compiled ~variant ~max_steps tgds database =
       { instance = Minstance.snapshot m; applications = n; saturated = false }
     else begin
       let trigger = Queue.pop queue in
+      Obs.incr "oblivious.applications";
       let produced = Trigger.result trigger in
       (* Add everything first (applications are simultaneous), remember
          which atoms were genuinely new. *)
       let fresh = List.filter (fun atom -> Minstance.add m atom) produced in
+      Obs.count "oblivious.fresh_atoms" (List.length fresh);
       List.iter
         (fun atom ->
           let batch = ref [] in
@@ -107,9 +134,15 @@ let run_compiled ~variant ~max_steps tgds database =
 
 let run ?(backend = `Compiled) ?(variant = Oblivious) ?(max_steps = default_max_steps) tgds
     database =
-  match backend with
-  | `Naive -> run_naive ~variant ~max_steps tgds database
-  | `Compiled -> run_compiled ~variant ~max_steps tgds database
+  Obs.span "oblivious.run" (fun () ->
+      obs_run_start ~variant ~backend ~max_steps database;
+      let r =
+        match backend with
+        | `Naive -> run_naive ~variant ~max_steps tgds database
+        | `Compiled -> run_compiled ~variant ~max_steps tgds database
+      in
+      obs_done r;
+      r)
 
 (* Does the oblivious chase saturate within the budget? *)
 let terminates_within ?backend ?variant ~max_steps tgds database =

@@ -22,6 +22,11 @@ type result = {
 
 val default_max_steps : int
 
+(** Run the (semi-)oblivious chase to saturation or budget exhaustion.
+    With an [Obs] sink installed the run reports
+    [oblivious.applications] / [oblivious.enqueue] / [oblivious.dup] /
+    [oblivious.fresh_atoms] counters inside an [oblivious.run] span;
+    see [docs/OBSERVABILITY.md]. *)
 val run :
   ?backend:backend -> ?variant:variant -> ?max_steps:int -> Tgd.t list -> Instance.t -> result
 

@@ -190,6 +190,7 @@ let of_tgd tgd =
   match TgdMap.find_opt tgd !cache with
   | Some p -> p
   | None ->
+      Obs.incr "plan.compile";
       let p = compile tgd in
       cache := TgdMap.add tgd p !cache;
       p
@@ -256,7 +257,10 @@ let try_match st (env : Term.t option array) (trail : int array) tcur atom =
 (* Candidate atoms for a step: cheapest statically-bound index, else a
    predicate scan.  An index probe of cardinality 0 short-circuits. *)
 let iter_candidates src st env f =
-  if Array.length st.bound = 0 then src.iter_pred st.pred f
+  if Array.length st.bound = 0 then begin
+    Obs.incr "plan.probe.scan";
+    src.iter_pred st.pred f
+  end
   else begin
     let best_pos = ref (-1) and best_t = ref (Term.Const "") and best_c = ref max_int in
     Array.iter
@@ -269,7 +273,11 @@ let iter_candidates src st env f =
           best_t := v
         end)
       st.bound;
-    if !best_c > 0 then src.iter_pos_term st.pred !best_pos !best_t f
+    if !best_c > 0 then begin
+      Obs.incr "plan.probe.index";
+      src.iter_pos_term st.pred !best_pos !best_t f
+    end
+    else Obs.incr "plan.probe.empty"
   end
 
 let run_steps src steps env trail start_cursor emit =
@@ -312,7 +320,10 @@ let iter_delta_homs p src atom f =
       if String.equal seed.pred pred then begin
         let env, trail = scratch p in
         let cur = try_match seed env trail 0 atom in
-        if cur >= 0 then run_steps src suffix env trail cur (fun () -> f (sub_of_env p env))
+        if cur >= 0 then begin
+          Obs.incr "plan.delta.seed";
+          run_steps src suffix env trail cur (fun () -> f (sub_of_env p env))
+        end
       end)
     p.delta
 
@@ -347,10 +358,16 @@ module Head_memo = struct
 
   let is_active memo p src hom =
     let key = (p.id, frontier_image p hom) in
-    if KeyTbl.mem memo key then false
-    else if head_satisfied p src hom then begin
-      KeyTbl.add memo key ();
+    if KeyTbl.mem memo key then begin
+      Obs.incr "plan.memo.hit";
       false
     end
-    else true
+    else begin
+      Obs.incr "plan.memo.miss";
+      if head_satisfied p src hom then begin
+        KeyTbl.add memo key ();
+        false
+      end
+      else true
+    end
 end

@@ -60,6 +60,7 @@ let default_max_nodes = 2000
 let default_max_depth = 64
 
 let build ?(max_nodes = default_max_nodes) ?(max_depth = default_max_depth) tgds database =
+  Obs.span "ochase.build" @@ fun () ->
   let store : (int, node) Hashtbl.t = Hashtbl.create 256 in
   let count = ref 0 in
   let by_pred : (string, int list) Hashtbl.t = Hashtbl.create 16 in
@@ -69,6 +70,7 @@ let build ?(max_nodes = default_max_nodes) ?(max_depth = default_max_depth) tgds
   let by_term : (string * int * Term.t, ibucket) Hashtbl.t = Hashtbl.create 64 in
   let dedup : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   let add_node depth atom origin parents =
+    Obs.incr "ochase.nodes";
     let n = { id = !count; depth; atom; origin; parents } in
     incr count;
     Hashtbl.add store n.id n;
@@ -142,6 +144,7 @@ let build ?(max_nodes = default_max_nodes) ?(max_depth = default_max_depth) tgds
   let rec rounds depth =
     if depth > max_depth then depth - 1
     else begin
+      Obs.incr "ochase.rounds";
       let added = ref false in
       List.iter
         (fun tgd ->
@@ -154,7 +157,8 @@ let build ?(max_nodes = default_max_nodes) ?(max_depth = default_max_depth) tgds
                     (String.concat ","
                        (List.map string_of_int (Array.to_list parent_ids)))
                 in
-                if not (Hashtbl.mem dedup key) then begin
+                if Hashtbl.mem dedup key then Obs.incr "ochase.dedup"
+                else begin
                   Hashtbl.add dedup key ();
                   (* Single-head: one produced atom; multi-head real
                      oblivious chase is out of the paper's scope. *)
@@ -171,6 +175,7 @@ let build ?(max_nodes = default_max_nodes) ?(max_depth = default_max_depth) tgds
     end
   in
   let horizon = rounds 1 in
+  Obs.gauge "ochase.horizon" horizon;
   let arr = Array.init !count (fun id -> Hashtbl.find store id) in
   { nodes = arr; by_pred; complete = not !over_budget && horizon < max_depth; horizon }
 

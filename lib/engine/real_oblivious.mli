@@ -46,7 +46,10 @@ val nodes_with_pred : t -> string -> int list
 val default_max_nodes : int
 val default_max_depth : int
 
-(** Build ochase(D,T) for single-head TGDs.
+(** Build ochase(D,T) for single-head TGDs.  With an [Obs] sink
+    installed the construction reports [ochase.nodes] / [ochase.dedup]
+    / [ochase.rounds] counters and an [ochase.horizon] gauge inside an
+    [ochase.build] span; see [docs/OBSERVABILITY.md].
     @raise Invalid_argument on multi-head TGDs. *)
 val build : ?max_nodes:int -> ?max_depth:int -> Tgd.t list -> Instance.t -> t
 

@@ -30,6 +30,13 @@ type strategy =
 
 type backend = [ `Compiled | `Naive ]
 
+let strategy_name = function
+  | Fifo -> "fifo"
+  | Lifo -> "lifo"
+  | Random _ -> "random"
+
+let backend_name = function `Compiled -> "compiled" | `Naive -> "naive"
+
 module TrigTbl = Hashtbl.Make (Trigger)
 
 (* A pool of pending candidate triggers with the three policies, backed by
@@ -50,8 +57,12 @@ module Pool = struct
     let rng = match strategy with Random seed -> Some (Random.State.make [| seed |]) | _ -> None in
     { arr = [||]; len = 0; front = 0; seen = TrigTbl.create 256; strategy; rng }
 
+  let size pool = pool.len - pool.front
+
   let push pool t =
-    if not (TrigTbl.mem pool.seen t) then begin
+    if TrigTbl.mem pool.seen t then Obs.incr "restricted.pool.dup"
+    else begin
+      Obs.incr "restricted.pool.push";
       TrigTbl.add pool.seen t ();
       let cap = Array.length pool.arr in
       if pool.len = cap then begin
@@ -97,6 +108,46 @@ end
 
 let default_max_steps = 10_000
 
+(* Observability hooks, shared by both backends (all no-ops unless a
+   sink is installed; the step-event payload is only built when one is). *)
+let obs_run_start ~backend ~strategy ~max_steps database =
+  if Obs.enabled () then
+    Obs.event "run"
+      [
+        ("engine", Obs.Str "restricted");
+        ("backend", Obs.Str (backend_name backend));
+        ("strategy", Obs.Str (strategy_name strategy));
+        ("max_steps", Obs.Int max_steps);
+        ("database_atoms", Obs.Int (Instance.cardinal database));
+      ]
+
+let obs_step trigger produced ~pool_size ~index =
+  Obs.incr "restricted.steps";
+  Obs.gauge "restricted.pool" pool_size;
+  if Obs.enabled () then
+    Obs.event "step"
+      [
+        ("engine", Obs.Str "restricted");
+        ("index", Obs.Int index);
+        ("tgd", Obs.Str (Tgd.name (Trigger.tgd trigger)));
+        ("produced", Obs.Int (List.length produced));
+        ("atoms", Obs.Str (String.concat ", " (List.map Atom.to_string produced)));
+        ("pool", Obs.Int pool_size);
+      ]
+
+let obs_done status steps =
+  if Obs.enabled () then
+    Obs.event "done"
+      [
+        ("engine", Obs.Str "restricted");
+        ( "status",
+          Obs.Str
+            (match status with
+            | Derivation.Terminated -> "terminated"
+            | Derivation.Out_of_budget -> "out_of_budget") );
+        ("steps", Obs.Int steps);
+      ]
+
 (* Budget-exhaustion status: every trigger that is still active on the
    final instance sits in the pool (a trigger is discovered when its last
    body atom is added; applied or inactive ones stay inactive forever by
@@ -107,7 +158,9 @@ let drain_status pool is_active =
   let rec go () =
     match Pool.pop pool with
     | None -> Derivation.Terminated
-    | Some t -> if is_active t then Derivation.Out_of_budget else go ()
+    | Some t ->
+        Obs.incr "restricted.drain";
+        if is_active t then Derivation.Out_of_budget else go ()
   in
   go ()
 
@@ -121,23 +174,32 @@ let resolve_gen naming gen =
   | `Fresh, None -> Some (Term.Gen.create ())
 
 let run_naive ~strategy ~max_steps ~gen tgds database =
+  obs_run_start ~backend:`Naive ~strategy ~max_steps database;
   let pool = Pool.create strategy in
   Pool.push_batch pool (List.of_seq (Trigger.all_naive tgds database));
   let rec loop instance steps_rev n =
-    if n >= max_steps then
+    if n >= max_steps then begin
       let status = drain_status pool (Trigger.is_active_naive instance) in
+      obs_done status n;
       Derivation.make ~database ~steps:(List.rev steps_rev) ~status
+    end
     else
       match Pool.pop pool with
-      | None -> Derivation.make ~database ~steps:(List.rev steps_rev) ~status:Terminated
+      | None ->
+          obs_done Derivation.Terminated n;
+          Derivation.make ~database ~steps:(List.rev steps_rev) ~status:Terminated
       | Some trigger ->
-          if not (Trigger.is_active_naive instance trigger) then loop instance steps_rev n
+          if not (Trigger.is_active_naive instance trigger) then begin
+            Obs.incr "restricted.inactive";
+            loop instance steps_rev n
+          end
           else begin
             let after, produced = Trigger.apply ?gen instance trigger in
             List.iter
               (fun atom ->
                 Pool.push_batch pool (List.of_seq (Trigger.involving_naive tgds after atom)))
               produced;
+            obs_step trigger produced ~pool_size:(Pool.size pool) ~index:n;
             let step =
               {
                 Derivation.index = n;
@@ -153,6 +215,7 @@ let run_naive ~strategy ~max_steps ~gen tgds database =
   loop database [] 0
 
 let run_compiled ~strategy ~max_steps ~gen tgds database =
+  obs_run_start ~backend:`Compiled ~strategy ~max_steps database;
   let m = Minstance.of_instance database in
   let src = Plan.source_of_minstance m in
   let plans = List.map (fun tgd -> (tgd, Plan.of_tgd tgd)) tgds in
@@ -174,14 +237,21 @@ let run_compiled ~strategy ~max_steps ~gen tgds database =
     plans;
   Pool.push_batch pool !seed;
   let rec loop prev steps_rev n =
-    if n >= max_steps then
+    if n >= max_steps then begin
       let status = drain_status pool is_active in
+      obs_done status n;
       Derivation.make ~database ~steps:(List.rev steps_rev) ~status
+    end
     else
       match Pool.pop pool with
-      | None -> Derivation.make ~database ~steps:(List.rev steps_rev) ~status:Terminated
+      | None ->
+          obs_done Derivation.Terminated n;
+          Derivation.make ~database ~steps:(List.rev steps_rev) ~status:Terminated
       | Some trigger ->
-          if not (is_active trigger) then loop prev steps_rev n
+          if not (is_active trigger) then begin
+            Obs.incr "restricted.inactive";
+            loop prev steps_rev n
+          end
           else begin
             let produced = Trigger.result ?gen trigger in
             List.iter (fun atom -> ignore (Minstance.add m atom)) produced;
@@ -195,6 +265,7 @@ let run_compiled ~strategy ~max_steps ~gen tgds database =
                   plans;
                 Pool.push_batch pool !batch)
               produced;
+            obs_step trigger produced ~pool_size:(Pool.size pool) ~index:n;
             let after =
               lazy (List.fold_left (fun i a -> Instance.add a i) (Lazy.force prev) produced)
             in
@@ -215,9 +286,10 @@ let run_compiled ~strategy ~max_steps ~gen tgds database =
 let run ?(backend = `Compiled) ?(strategy = Fifo) ?(max_steps = default_max_steps)
     ?(naming = `Fresh) ?gen tgds database =
   let gen = resolve_gen naming gen in
-  match backend with
-  | `Naive -> run_naive ~strategy ~max_steps ~gen tgds database
-  | `Compiled -> run_compiled ~strategy ~max_steps ~gen tgds database
+  Obs.span "restricted.run" (fun () ->
+      match backend with
+      | `Naive -> run_naive ~strategy ~max_steps ~gen tgds database
+      | `Compiled -> run_compiled ~strategy ~max_steps ~gen tgds database)
 
 (* Convenience: chase to completion or fail. *)
 exception Did_not_terminate of Derivation.t

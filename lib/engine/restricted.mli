@@ -17,10 +17,24 @@ type strategy =
     property tests check. *)
 type backend = [ `Compiled | `Naive ]
 
+(** Stable lowercase name of a strategy (["fifo"], ["lifo"], ["random"])
+    — the value used in observability events and by the CLI. *)
+val strategy_name : strategy -> string
+
+(** Stable lowercase name of a backend (["compiled"], ["naive"]). *)
+val backend_name : backend -> string
+
 val default_max_steps : int
 
 (** Run the restricted chase.  Stops when no active trigger remains
-    ([Terminated]) or after [max_steps] applications ([Out_of_budget]). *)
+    ([Terminated]) or after [max_steps] applications ([Out_of_budget]).
+
+    When an [Obs] sink is installed the run reports the
+    [restricted.steps] / [restricted.inactive] / [restricted.pool.*]
+    counters, a [restricted.pool] gauge, a [restricted.run] span, and
+    one ["step"] event per applied trigger; the instrumentation never
+    influences the derivation (property-tested in [test/suite_obs.ml]).
+    See [docs/OBSERVABILITY.md] for the full signal schema. *)
 val run :
   ?backend:backend ->
   ?strategy:strategy ->

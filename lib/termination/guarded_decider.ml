@@ -123,17 +123,41 @@ let candidate_databases tgds =
 
 let default_max_depth = 200
 
+let obs_proof proof =
+  if Obs.enabled () then
+    Obs.event "guarded.proof"
+      [
+        ( "method",
+          Obs.Str
+            (match proof with
+            | Weakly_acyclic -> "weakly_acyclic"
+            | Jointly_acyclic -> "jointly_acyclic"
+            | Model_faithful_acyclic -> "mfa") );
+      ]
+
 let decide ?(max_depth = default_max_depth) ?max_states tgds =
   require_guarded tgds;
-  if Weak_acyclicity.is_weakly_acyclic tgds then Terminating Weakly_acyclic
-  else if Joint_acyclicity.is_jointly_acyclic tgds then Terminating Jointly_acyclic
-  else if Mfa.is_mfa tgds then Terminating Model_faithful_acyclic
+  Obs.span "guarded.decide" @@ fun () ->
+  if Weak_acyclicity.is_weakly_acyclic tgds then begin
+    obs_proof Weakly_acyclic;
+    Terminating Weakly_acyclic
+  end
+  else if Joint_acyclicity.is_jointly_acyclic tgds then begin
+    obs_proof Jointly_acyclic;
+    Terminating Jointly_acyclic
+  end
+  else if Mfa.is_mfa tgds then begin
+    obs_proof Model_faithful_acyclic;
+    Terminating Model_faithful_acyclic
+  end
   else begin
     let candidates = candidate_databases tgds in
+    Obs.gauge "guarded.candidates" (List.length candidates);
     let explored = ref 0 in
     let rec search = function
       | [] -> No_divergence_found { candidates = List.length candidates; explored_states = !explored }
       | database :: rest -> (
+          Obs.incr "guarded.candidates.searched";
           match Derivation_search.divergence_evidence ~max_depth ?max_states tgds database with
           | None ->
               incr explored;
@@ -165,6 +189,14 @@ let decide ?(max_depth = default_max_depth) ?max_states tgds =
                 | Some t -> Abstract_join_tree.is_chaseable tgds t = Ok ()
                 | None -> false
               in
+              if Obs.enabled () then
+                Obs.event "guarded.certificate"
+                  [
+                    ("database_atoms", Obs.Int (Instance.cardinal database));
+                    ("derivation_steps", Obs.Int (Derivation.length derivation));
+                    ("acyclic", Obs.Bool acyclic);
+                    ("chaseable", Obs.Bool chaseable);
+                  ];
               Non_terminating
                 { database; derivation; acyclic; treeified; abstract_tree; chaseable })
     in

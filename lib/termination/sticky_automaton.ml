@@ -92,6 +92,7 @@ let alphabet ctx =
             existential_position_sets)
         (Tgd.body tgd))
     ctx.tgds;
+  Obs.gauge "sticky.letters" (List.length !letters);
   List.rev !letters
 
 (* Symbolic terms of the next body atom. *)
@@ -267,7 +268,11 @@ let start_pairs ctx =
 
 (* The union automaton A_T as the list of its components. *)
 let components ctx =
-  List.map (fun (e, c) -> ((e, c), component ctx ~start_et:e ~start_class:c)) (start_pairs ctx)
+  let comps =
+    List.map (fun (e, c) -> ((e, c), component ctx ~start_et:e ~start_class:c)) (start_pairs ctx)
+  in
+  Obs.gauge "sticky.components" (List.length comps);
+  comps
 
 (* Run the deterministic automaton over a finite caterpillar word; [None]
    when it falls into the reject sink. *)
