@@ -9,9 +9,12 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Small-size engine benchmark (E11), writes BENCH_results.json.
+# Small-size engine benchmarks (E11 + the E12 scaling sweep), writes
+# BENCH_results.json.  JOBS caps the E12 domain sweep, e.g.
+# `make bench-smoke JOBS=2`.
+JOBS ?= 1
 bench-smoke:
-	dune exec bench/main.exe -- --json --smoke E11
+	dune exec bench/main.exe -- --json --smoke --jobs $(JOBS) E11 E12
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1,12 +1,13 @@
 (* The benchmark harness: regenerates every experiment of EXPERIMENTS.md
-   (E1–E11).  The paper is a theory paper with no measured tables; these
+   (E1–E12).  The paper is a theory paper with no measured tables; these
    experiments check its qualitative claims and measure the implemented
    systems.  Run with
 
      dune exec bench/main.exe                        (all experiments)
      dune exec bench/main.exe -- E6 E8               (a selection)
      dune exec bench/main.exe -- --json --smoke E11  (small sizes; also
-                                   write BENCH_results.json)            *)
+                                   write BENCH_results.json)
+     dune exec bench/main.exe -- --jobs 4 E12        (cap the E12 sweep) *)
 
 open Chase_core
 open Chase_engine
@@ -15,6 +16,13 @@ open Bench_util
 (* --smoke: shrink workload sizes so the whole harness runs in seconds
    (used by `make bench-smoke` as a CI-sized sanity pass). *)
 let smoke = ref false
+
+(* --jobs N: cap for the E12 domain sweep (0 = pick by mode: 2 under
+   --smoke, 8 otherwise).  Every other experiment stays sequential, so
+   their numbers remain comparable across trajectory entries. *)
+let max_jobs = ref 0
+
+let e12_max_jobs () = if !max_jobs > 0 then !max_jobs else if !smoke then 2 else 8
 
 (* ------------------------------------------------------------------ *)
 (* E1: restricted vs (semi-)oblivious chase result sizes.              *)
@@ -731,37 +739,229 @@ let e11 () =
       [ "family"; "steps"; "naive"; "compiled"; "naive steps/s"; "compiled steps/s"; "speedup" ]
     rows
 
+(* ------------------------------------------------------------------ *)
+(* E12: multicore scaling over the lib/exec domain pool.  Two workload  *)
+(* families: the E11 skewed-hub mappings (parallel activity scan in the *)
+(* restricted chase) and growing random sticky sets (parallel Büchi     *)
+(* frontier expansion in the decider).  Parallel runs are bit-identical *)
+(* to sequential — same derivations, verdicts and state counts; that is *)
+(* asserted below and property-tested in test/suite_parallel_exec.ml —  *)
+(* so the sweep measures wall-clock only.  Speedup is relative to the   *)
+(* jobs=1 run of the same binary; on a single-core container every row  *)
+(* degrades to pool overhead (see EXPERIMENTS.md E12 for the caveat).   *)
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  let module Exec = Chase_exec.Pool in
+  let mj = e12_max_jobs () in
+  let sweep =
+    let base = List.filter (fun j -> j <= mj) [ 1; 2; 4; 8 ] in
+    if List.mem mj base then base else base @ [ mj ]
+  in
+  let quota = if !smoke then 0.1 else 0.25 in
+  let same_derivation d1 d2 =
+    Derivation.status d1 = Derivation.status d2
+    && List.length (Derivation.steps d1) = List.length (Derivation.steps d2)
+    && List.for_all2
+         (fun s1 s2 ->
+           Trigger.equal s1.Derivation.trigger s2.Derivation.trigger
+           && List.equal Atom.equal s1.Derivation.produced s2.Derivation.produced)
+         (Derivation.steps d1) (Derivation.steps d2)
+  in
+  (* 12a: restricted chase on the skewed-hub mappings — the E11 families
+     with the widest trigger queues, i.e. the most activity checks per
+     winning pop for the speculative scan to overlap. *)
+  let st scenario =
+    let s = scenario in
+    (s.Chase_workload.St_mapping.name, s.Chase_workload.St_mapping.tgds,
+     s.Chase_workload.St_mapping.database)
+  in
+  let chase_families =
+    if !smoke then
+      [
+        st (Chase_workload.St_mapping.hub_propagation ~n:60 ~pad:240);
+        st (Chase_workload.St_mapping.hub_exchange ~n:50 ~pad:400);
+      ]
+    else
+      [
+        st (Chase_workload.St_mapping.hub_propagation ~n:2000 ~pad:8000);
+        st (Chase_workload.St_mapping.hub_exchange ~n:1500 ~pad:12000);
+      ]
+  in
+  let chase_rows =
+    List.concat_map
+      (fun (name, tgds, db) ->
+        let run pool () = Restricted.run ~max_steps:200_000 ~pool tgds db in
+        let base = run Exec.inline () in
+        let steps = Derivation.length base in
+        let base_ns = ref nan in
+        List.map
+          (fun j ->
+            Exec.with_pool ~jobs:j @@ fun pool ->
+            assert (same_derivation base (run pool ()));
+            let ns = measure_ns ~quota (Printf.sprintf "%s/jobs=%d" name j) (run pool) in
+            if j = 1 then base_ns := ns;
+            let speedup = !base_ns /. ns in
+            record "E12"
+              [
+                ("family", Str ("chase/" ^ name));
+                ("jobs", Int j);
+                ("chase_steps", Int steps);
+                ("ns", Num ns);
+                ("steps_per_s", Num (float_of_int steps /. (ns /. 1e9)));
+                ("speedup_vs_jobs1", Num speedup);
+              ];
+            [
+              "chase " ^ name;
+              string_of_int j;
+              string_of_int steps;
+              pretty_ns ns;
+              Printf.sprintf "%.2fx" speedup;
+            ])
+          sweep)
+      chase_families
+  in
+  (* 12b: Büchi-heavy sticky decides — E6b's random scaling family at
+     its largest sizes, where decision time is dominated by the product
+     automaton exploration that the pool parallelizes level by level. *)
+  let sticky_sets =
+    let set n =
+      ( Printf.sprintf "random-sticky-%d" n,
+        Chase_workload.Tgd_gen.sticky_set
+          {
+            Chase_workload.Tgd_gen.default with
+            Chase_workload.Tgd_gen.seed = 7 * n;
+            tgds = n;
+            predicates = 1 + (n / 2);
+            max_arity = 2;
+          } )
+    in
+    if !smoke then [ set 6 ] else [ set 10; set 12 ]
+  in
+  let sticky_rows =
+    List.concat_map
+      (fun (name, tgds) ->
+        let stats pool = Chase_termination.Sticky_decider.decide_with_stats ~pool tgds in
+        let tag (s : Chase_termination.Sticky_decider.stats) =
+          match s.Chase_termination.Sticky_decider.decision with
+          | Chase_termination.Sticky_decider.All_terminating -> "terminating"
+          | Chase_termination.Sticky_decider.Non_terminating _ -> "diverging"
+          | Chase_termination.Sticky_decider.Inconclusive _ -> "inconclusive"
+        in
+        let base = stats Exec.inline in
+        let base_ns = ref nan in
+        List.map
+          (fun j ->
+            Exec.with_pool ~jobs:j @@ fun pool ->
+            let s = stats pool in
+            assert (
+              tag s = tag base
+              && s.Chase_termination.Sticky_decider.explored_states
+                 = base.Chase_termination.Sticky_decider.explored_states);
+            let ns =
+              measure_ns ~quota
+                (Printf.sprintf "%s/jobs=%d" name j)
+                (fun () -> Chase_termination.Sticky_decider.decide ~pool tgds)
+            in
+            if j = 1 then base_ns := ns;
+            let speedup = !base_ns /. ns in
+            record "E12"
+              [
+                ("family", Str ("buchi/" ^ name));
+                ("jobs", Int j);
+                ("states", Int base.Chase_termination.Sticky_decider.explored_states);
+                ("ns", Num ns);
+                ("speedup_vs_jobs1", Num speedup);
+              ];
+            [
+              "büchi " ^ name;
+              string_of_int j;
+              string_of_int base.Chase_termination.Sticky_decider.explored_states;
+              pretty_ns ns;
+              Printf.sprintf "%.2fx" speedup;
+            ])
+          sweep)
+      sticky_sets
+  in
+  table
+    ~title:
+      (Printf.sprintf
+         "E12  multicore scaling, 1..%d domains (recommended_domain_count here: %d); \
+          parallel runs bit-identical to sequential"
+         mj
+         (Domain.recommended_domain_count ()))
+    ~header:[ "workload"; "jobs"; "steps/states"; "time"; "speedup vs jobs=1" ]
+    (chase_rows @ sticky_rows)
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
-    ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
+    ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
   ]
 
 (* Each experiment runs under a stats sink so BENCH_results.json carries
    a per-experiment counter snapshot (which engine paths fired, how
    often) next to the timings — regressions become diagnosable, not just
    detectable.  Timed closures are exempt: measure_ns/once_ns suspend
-   the sink, so the numbers are those of the uninstrumented hot path. *)
+   the sink, so the numbers are those of the uninstrumented hot path.
+   The wall-clock row covers the whole experiment (setup, asserts and
+   bechamel calibration included), making trajectory entries comparable
+   at a glance even where no bechamel measurement exists. *)
 let run_with_counters name f =
   let st = Obs.Stats.create () in
+  let t0 = Unix.gettimeofday () in
   Obs.with_sink (Obs.Stats.sink st) f;
+  let wall = Unix.gettimeofday () -. t0 in
   let fields = List.map (fun (k, v) -> (k, Int v)) (Obs.Stats.counters st) in
-  if fields <> [] then record name [ ("counters", Obj fields) ]
+  record name
+    (("wall_s", Num wall) :: (if fields = [] then [] else [ ("counters", Obj fields) ]))
 
 let () =
   Obs.set_clock Unix.gettimeofday;
-  let args = List.tl (Array.to_list Sys.argv) in
-  let json = List.mem "--json" args in
-  smoke := List.mem "--smoke" args;
-  let names = List.filter (fun a -> not (String.starts_with ~prefix:"--" a)) args in
+  let json = ref false in
+  let names = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--jobs" :: n :: rest ->
+        max_jobs := int_of_string n;
+        parse rest
+    | arg :: rest when String.starts_with ~prefix:"--jobs=" arg ->
+        max_jobs :=
+          int_of_string (String.sub arg (String.length "--jobs=")
+                           (String.length arg - String.length "--jobs="));
+        parse rest
+    | arg :: rest when String.starts_with ~prefix:"--" arg ->
+        Printf.eprintf "unknown flag %s\n" arg;
+        parse rest
+    | arg :: rest ->
+        names := arg :: !names;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let names = List.rev !names in
   let selected = match names with [] -> List.map fst experiments | _ -> names in
+  (* The environment row makes the trajectory file self-describing: which
+     jobs cap the E12 sweep used, and how many cores the host admits. *)
+  if !json then
+    record "env"
+      [
+        ("jobs", Int (e12_max_jobs ()));
+        ("recommended_domain_count", Int (Domain.recommended_domain_count ()));
+        ("smoke", Bool !smoke);
+      ];
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
       | Some f -> run_with_counters name f
       | None -> Printf.eprintf "unknown experiment %s\n" name)
     selected;
-  if json then begin
+  if !json then begin
     write_json "BENCH_results.json";
     print_endline "wrote BENCH_results.json"
   end

@@ -76,6 +76,20 @@ let with_obs ~stats ~trace_json f =
           Option.iter (fun t -> Format.eprintf "%a@." Obs.Stats.pp t) stats_t)
         (fun () -> Obs.with_sink (List.fold_left Obs.tee first rest) f)
 
+(* --- parallelism ------------------------------------------------------ *)
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run on $(docv) domains (default 1 = sequential).  Parallel runs produce \
+           bit-identical derivations and verdicts; only wall-clock changes.")
+
+(* The pool is created inside the obs scope so its pool.* signals reach
+   the --stats/--trace-json sinks, and always torn down. *)
+let with_jobs jobs f = Chase_exec.Pool.with_pool ~jobs f
+
 (* --- classify -------------------------------------------------------- *)
 
 let classify_cmd =
@@ -110,11 +124,12 @@ let max_steps_arg =
 let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Print the derivation trace.")
 
 let chase_cmd =
-  let run file engine strategy seed max_steps trace stats trace_json =
+  let run file engine strategy seed max_steps trace stats trace_json jobs =
     let p = or_die (load file) in
     let tgds = Chase_parser.Program.tgds p in
     let db = Chase_parser.Program.database p in
     with_obs ~stats ~trace_json @@ fun () ->
+    with_jobs jobs @@ fun pool ->
     match engine with
     | `Restricted ->
         let strategy =
@@ -123,7 +138,7 @@ let chase_cmd =
           | `Lifo -> Chase_engine.Restricted.Lifo
           | `Random -> Chase_engine.Restricted.Random seed
         in
-        let d = Chase_engine.Restricted.run ~strategy ~max_steps tgds db in
+        let d = Chase_engine.Restricted.run ~strategy ~max_steps ~pool tgds db in
         if trace then Format.printf "%a@." Chase_engine.Derivation.pp d
         else begin
           Format.printf "%a@." Chase_core.Instance.pp (Chase_engine.Derivation.final d);
@@ -147,16 +162,17 @@ let chase_cmd =
   Cmd.v (Cmd.info "chase" ~doc:"Run a chase engine on the program's database.")
     Term.(
       const run $ file_arg $ engine_arg $ strategy_arg $ seed_arg $ max_steps_arg $ trace_arg
-      $ stats_arg $ trace_json_arg)
+      $ stats_arg $ trace_json_arg $ jobs_arg)
 
 (* --- decide ---------------------------------------------------------- *)
 
 let decide_cmd =
-  let run file stats trace_json =
+  let run file stats trace_json jobs =
     let p = or_die (load file) in
     let report =
       with_obs ~stats ~trace_json @@ fun () ->
-      Chase_termination.Decider.decide (Chase_parser.Program.tgds p)
+      with_jobs jobs @@ fun pool ->
+      Chase_termination.Decider.decide ~pool (Chase_parser.Program.tgds p)
     in
     Format.printf "%a@." Chase_termination.Decider.pp report;
     match report.Chase_termination.Decider.answer with
@@ -169,7 +185,7 @@ let decide_cmd =
        ~doc:
          "Decide all-instances restricted chase termination (exit 0 = terminating, 1 = \
           non-terminating, 3 = unknown).")
-    Term.(const run $ file_arg $ stats_arg $ trace_json_arg)
+    Term.(const run $ file_arg $ stats_arg $ trace_json_arg $ jobs_arg)
 
 (* --- query ----------------------------------------------------------- *)
 
@@ -203,7 +219,7 @@ let query_cmd =
 (* --- automaton ------------------------------------------------------- *)
 
 let automaton_cmd =
-  let run file stats trace_json =
+  let run file stats trace_json jobs =
     let p = or_die (load file) in
     let tgds = Chase_parser.Program.tgds p in
     (match Chase_classes.Stickiness.is_sticky tgds with
@@ -212,6 +228,7 @@ let automaton_cmd =
         exit 2
     | true -> ());
     with_obs ~stats ~trace_json @@ fun () ->
+    with_jobs jobs @@ fun pool ->
     let ctx = Chase_termination.Sticky_automaton.make_context tgds in
     let comps = Chase_termination.Sticky_automaton.components ctx in
     Format.printf "alphabet: %d letters, components: %d@."
@@ -219,9 +236,9 @@ let automaton_cmd =
       (List.length comps);
     List.iter
       (fun ((e, cls), a) ->
-        let s = Chase_automata.Buchi.stats a in
+        let s = Chase_automata.Buchi.stats ~pool a in
         let verdict =
-          match Chase_automata.Buchi.emptiness a with
+          match Chase_automata.Buchi.emptiness ~pool a with
           | Chase_automata.Buchi.Empty -> "empty"
           | Chase_automata.Buchi.Nonempty _ -> "NONEMPTY"
           | Chase_automata.Buchi.Budget_exceeded _ -> "budget"
@@ -232,7 +249,7 @@ let automaton_cmd =
       comps
   in
   Cmd.v (Cmd.info "automaton" ~doc:"Anatomy of the sticky Büchi automaton A_T.")
-    Term.(const run $ file_arg $ stats_arg $ trace_json_arg)
+    Term.(const run $ file_arg $ stats_arg $ trace_json_arg $ jobs_arg)
 
 (* --- ochase ---------------------------------------------------------- *)
 

@@ -11,6 +11,8 @@
    the initial state; a witness is a *lasso* — a finite prefix word and a
    non-empty cycle word that can be pumped forever. *)
 
+module Exec = Chase_exec.Pool
+
 type ('s, 'a) t = {
   initial : 's;
   alphabet : 'a array;
@@ -34,8 +36,19 @@ let make ~initial ~alphabet ~next ~accepting ~state_key =
 let default_max_states = 200_000
 
 (* Explore the reachable graph; returns (states indexed 0.., edges as
-   (src, letter index, dst) lists per src) or None on budget. *)
-let explore ?(max_states = default_max_states) a =
+   (src, letter index, dst) lists per src) or None on budget.
+
+   With a parallel pool the BFS is level-synchronized: the queue is
+   drained into a frontier snapshot, every (state, letter) successor of
+   the level is computed across domains ([next] must be pure — the
+   sticky automaton's is), and the results are merged on the
+   coordinating domain in exactly the sequential visit order (frontier
+   order × alphabet order), replaying the same [register] calls and the
+   same budget stop.  State numbering, edge lists, the explored count
+   and the Budget_exceeded point are therefore bit-identical to the
+   sequential exploration; speculative successors computed past a
+   budget stop are simply discarded. *)
+let explore ?(max_states = default_max_states) ?(pool = Exec.inline) a =
   let index : (string, int) Hashtbl.t = Hashtbl.create 1024 in
   let states : (int, 's) Hashtbl.t = Hashtbl.create 1024 in
   let edges : (int, (int * int) list) Hashtbl.t = Hashtbl.create 1024 in
@@ -56,14 +69,16 @@ let explore ?(max_states = default_max_states) a =
   in
   ignore (register a.initial);
   let over = ref false in
-  while (not (Queue.is_empty queue)) && not !over do
-    let i = Queue.pop queue in
-    let s = Hashtbl.find states i in
+  (* Merge one source state's successor images in alphabet order,
+     mirroring the sequential inner loop byte for byte.  Images are lazy
+     so the sequential path still skips [next] calls after a budget
+     stop; the parallel path passes pre-forced values. *)
+  let merge_outs i images =
     let outs = ref [] in
     Array.iteri
-      (fun li letter ->
+      (fun li image ->
         if not !over then
-          match a.next s letter with
+          match Lazy.force image with
           | None -> ()
           | Some s' ->
               if !count >= max_states && not (Hashtbl.mem index (a.state_key s')) then
@@ -73,9 +88,28 @@ let explore ?(max_states = default_max_states) a =
                 let j = register s' in
                 outs := (li, j) :: !outs
               end)
-      a.alphabet;
+      images;
     Hashtbl.replace edges i !outs
-  done;
+  in
+  if not (Exec.is_parallel pool) then
+    while (not (Queue.is_empty queue)) && not !over do
+      let i = Queue.pop queue in
+      let s = Hashtbl.find states i in
+      merge_outs i (Array.map (fun letter -> lazy (a.next s letter)) a.alphabet)
+    done
+  else
+    while (not (Queue.is_empty queue)) && not !over do
+      let frontier = Array.of_seq (Queue.to_seq queue) in
+      Queue.clear queue;
+      let images =
+        Exec.map_array pool
+          (fun i ->
+            let s = Hashtbl.find states i in
+            Array.map (fun letter -> Lazy.from_val (a.next s letter)) a.alphabet)
+          frontier
+      in
+      Array.iteri (fun fi i -> if not !over then merge_outs i images.(fi)) frontier
+    done;
   if !over then Error !count else Ok (states, edges, !count)
 
 (* Tarjan SCC over an explicit int graph. *)
@@ -133,9 +167,9 @@ let sccs n succ =
   done;
   (comp, !ncomp)
 
-let emptiness ?max_states a =
+let emptiness ?max_states ?pool a =
   Obs.span "buchi.emptiness" @@ fun () ->
-  match explore ?max_states a with
+  match explore ?max_states ?pool a with
   | Error n -> Budget_exceeded n
   | Ok (states, edges, n) ->
       let succ i = List.map snd (Option.value ~default:[] (Hashtbl.find_opt edges i)) in
@@ -221,14 +255,14 @@ let emptiness ?max_states a =
               Nonempty { prefix = p; cycle = c }
           | _ -> Empty (* unreachable: acc was picked reachable in a good SCC *)))
 
-let is_empty ?max_states a =
-  match emptiness ?max_states a with
+let is_empty ?max_states ?pool a =
+  match emptiness ?max_states ?pool a with
   | Empty -> true
   | Nonempty _ -> false
   | Budget_exceeded n -> invalid_arg (Printf.sprintf "Buchi.is_empty: budget at %d states" n)
 
-let stats ?max_states a =
-  match explore ?max_states a with
+let stats ?max_states ?pool a =
+  match explore ?max_states ?pool a with
   | Error n -> { states = n; transitions = 0 }
   | Ok (_, edges, n) ->
       let transitions = Hashtbl.fold (fun _ outs acc -> acc + List.length outs) edges 0 in

@@ -27,15 +27,23 @@ val make :
 
 val default_max_states : int
 
-(** Decide L(A) = ∅ by reachable-SCC analysis; a [Nonempty] answer carries
-    a lasso witness. *)
-val emptiness : ?max_states:int -> ('s, 'a) t -> 'a emptiness
+(** Decide L(A) = ∅ by reachable-SCC analysis; a [Nonempty] answer
+    carries a lasso witness.
+
+    [pool] (default: inline) parallelizes the state-space exploration
+    with a level-synchronized BFS whose discoveries are merged in the
+    sequential visit order — the reachable state set, its numbering and
+    the budget behaviour are bit-identical to the sequential search.
+    Supplying a parallel pool requires [next] to be pure (no shared
+    mutable state), since it then runs on worker domains. *)
+val emptiness : ?max_states:int -> ?pool:Chase_exec.Pool.t -> ('s, 'a) t -> 'a emptiness
 
 (** @raise Invalid_argument when the state budget is exceeded. *)
-val is_empty : ?max_states:int -> ('s, 'a) t -> bool
+val is_empty : ?max_states:int -> ?pool:Chase_exec.Pool.t -> ('s, 'a) t -> bool
 
-(** Size of the reachable automaton. *)
-val stats : ?max_states:int -> ('s, 'a) t -> stats
+(** Size of the reachable automaton (same [pool] contract as
+    {!emptiness}). *)
+val stats : ?max_states:int -> ?pool:Chase_exec.Pool.t -> ('s, 'a) t -> stats
 
 (** Validate a lasso witness by running the automaton over it. *)
 val accepts_lasso : ('s, 'a) t -> 'a lasso -> bool

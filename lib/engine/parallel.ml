@@ -12,9 +12,23 @@
    restricted chase applies it anyway.  Consequently the result can be
    strictly larger than any sequential restricted result, but it is still
    a model, and every atom is produced by a trigger that was active when
-   its round began. *)
+   its round began.
+
+   Candidates are discovered incrementally on the compiled-plan fast
+   path (PR 1): one [Plan.iter_homs] seed for the database, then
+   [Plan.iter_delta_homs] per atom actually added — never a full
+   re-enumeration per round.  A candidate leaves the set for good once
+   applied (its own head atoms satisfy it) or found inactive (activity
+   is monotone downwards), so each round tests exactly the candidates
+   the full recomputation would have found live, and the active sets —
+   hence the rounds — are unchanged.  The per-round activity test is an
+   independent map over the candidate array, parallelized across
+   domains when a [pool] is supplied; canonical null naming (Def 3.1)
+   makes the round result independent of evaluation order, and the
+   applied list is reported in [Trigger.compare] order either way. *)
 
 open Chase_core
+module Exec = Chase_exec.Pool
 
 type round = { index : int; applied : Trigger.t list; after : Instance.t }
 
@@ -27,26 +41,62 @@ type result = {
 
 let default_max_rounds = 1_000
 
+module TrigTbl = Hashtbl.Make (Trigger)
+
 (* Canonical null naming (Def 3.1) throughout: atom identities then
    persist across rounds and into {!Sequentialize}, and a trigger firing
    in two different rounds produces the same atom. *)
-let run ?(max_rounds = default_max_rounds) tgds database =
-  let rec go instance rounds i =
-    if i >= max_rounds then
-      { database; rounds = List.rev rounds; final = instance; saturated = false }
-    else
-      let active = Restricted.active_triggers tgds instance in
-      match active with
-      | [] -> { database; rounds = List.rev rounds; final = instance; saturated = true }
-      | _ ->
-          let after =
-            List.fold_left
-              (fun acc trigger -> fst (Trigger.apply acc trigger))
-              instance active
-          in
-          go after ({ index = i; applied = active; after } :: rounds) (i + 1)
+let run ?(max_rounds = default_max_rounds) ?(pool = Exec.inline) tgds database =
+  let m = Minstance.of_instance database in
+  let src = Plan.source_of_minstance m in
+  let plans = List.map (fun tgd -> (tgd, Plan.of_tgd tgd)) tgds in
+  let plan_of tgd =
+    match List.find_opt (fun (t, _) -> t == tgd) plans with
+    | Some (_, p) -> p
+    | None -> Plan.of_tgd tgd
   in
-  go database [] 0
+  let seen = TrigTbl.create 256 in
+  let discovered = ref [] in
+  let discover tgd hom =
+    let t = Trigger.make tgd hom in
+    if not (TrigTbl.mem seen t) then begin
+      TrigTbl.add seen t ();
+      discovered := t :: !discovered
+    end
+  in
+  List.iter (fun (tgd, p) -> Plan.iter_homs p src (fun hom -> discover tgd hom)) plans;
+  let is_active t = not (Plan.head_satisfied (plan_of (Trigger.tgd t)) src (Trigger.hom t)) in
+  let rec go candidates rounds i =
+    if i >= max_rounds then
+      { database; rounds = List.rev rounds; final = Minstance.snapshot m; saturated = false }
+    else begin
+      let cands = Array.of_list (List.sort Trigger.compare candidates) in
+      let verdicts = Exec.map_array pool is_active cands in
+      let active = ref [] in
+      Array.iteri (fun j t -> if verdicts.(j) then active := t :: !active) cands;
+      let active = List.rev !active in
+      match active with
+      | [] -> { database; rounds = List.rev rounds; final = Minstance.snapshot m; saturated = true }
+      | _ ->
+          (* Inactive candidates are dropped for good (monotonicity);
+             applied ones satisfy their own heads from now on. *)
+          discovered := [];
+          List.iter
+            (fun trigger ->
+              List.iter
+                (fun atom ->
+                  if Minstance.add m atom then
+                    List.iter
+                      (fun (tgd, p) ->
+                        Plan.iter_delta_homs p src atom (fun hom -> discover tgd hom))
+                      plans)
+                (Trigger.result trigger))
+            active;
+          let after = Minstance.snapshot m in
+          go !discovered ({ index = i; applied = active; after } :: rounds) (i + 1)
+    end
+  in
+  go !discovered [] 0
 
 let round_count r = List.length r.rounds
 

@@ -18,7 +18,17 @@ type result = {
 val default_max_rounds : int
 
 (** Runs with canonical null naming (Def 3.1), so atom identities persist
-    across rounds and into {!Sequentialize}. *)
-val run : ?max_rounds:int -> Tgd.t list -> Instance.t -> result
+    across rounds and into {!Sequentialize}.
+
+    Candidate triggers are discovered incrementally with compiled-plan
+    delta matching and dropped permanently once applied or found
+    inactive (both are final by downward monotonicity of activity), so
+    no round re-enumerates all triggers; each [applied] list is reported
+    in canonical [Trigger.compare] order.  [pool] (default: inline)
+    spreads the per-round activity tests across domains — the rounds
+    are identical either way, since the tests are independent reads of
+    the frozen round-start instance. *)
+val run :
+  ?max_rounds:int -> ?pool:Chase_exec.Pool.t -> Tgd.t list -> Instance.t -> result
 val round_count : result -> int
 val applications : result -> int

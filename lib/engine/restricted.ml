@@ -22,6 +22,7 @@
    is identical across backends for every strategy. *)
 
 open Chase_core
+module Exec = Chase_exec.Pool
 
 type strategy =
   | Fifo  (* oldest candidate first — yields fair derivations *)
@@ -104,6 +105,30 @@ module Pool = struct
           pool.arr.(k) <- pool.arr.(pool.len);
           Some t
         end
+
+  (* The next [k] pops in pop order, without consuming anything — the
+     speculative window of the parallel activity scan.  Fifo/Lifo just
+     read the array; Random copies the RNG and simulates its
+     swap-removes in an overlay table, so replaying the real pops
+     afterwards consumes the exact same triggers and RNG draws. *)
+  let peek_order pool k =
+    let k = min k (size pool) in
+    match pool.strategy with
+    | Fifo -> Array.init k (fun i -> pool.arr.(pool.front + i))
+    | Lifo -> Array.init k (fun i -> pool.arr.(pool.len - 1 - i))
+    | Random _ ->
+        let rng = Random.State.copy (Option.get pool.rng) in
+        let overlay = Hashtbl.create 16 in
+        let get i =
+          match Hashtbl.find_opt overlay i with Some t -> t | None -> pool.arr.(i)
+        in
+        let len = ref pool.len in
+        Array.init k (fun _ ->
+            let j = Random.State.int rng !len in
+            let t = get j in
+            decr len;
+            Hashtbl.replace overlay j (get !len);
+            t)
 end
 
 let default_max_steps = 10_000
@@ -214,7 +239,7 @@ let run_naive ~strategy ~max_steps ~gen tgds database =
   in
   loop database [] 0
 
-let run_compiled ~strategy ~max_steps ~gen tgds database =
+let run_compiled ~strategy ~max_steps ~gen ~epool tgds database =
   obs_run_start ~backend:`Compiled ~strategy ~max_steps database;
   let m = Minstance.of_instance database in
   let src = Plan.source_of_minstance m in
@@ -236,6 +261,95 @@ let run_compiled ~strategy ~max_steps ~gen tgds database =
     (fun (tgd, p) -> Plan.iter_homs p src (fun hom -> seed := Trigger.make tgd hom :: !seed))
     plans;
   Pool.push_batch pool !seed;
+  (* [next_active ()] pops candidates until the first active one (None =
+     pool drained).  Sequentially that is one pop + activity test per
+     iteration.  With a parallel pool, a speculative window of the
+     upcoming pops ([Pool.peek_order]) is tested at once against the
+     frozen instance and the first active one {e in pop order} wins;
+     the window's real pops are then replayed so the pool and RNG state
+     match the sequential engine exactly.  The speculative verdicts are
+     final — activity is monotone downwards and the instance does not
+     grow during a scan — so the derivation is bit-identical to
+     sequential, and verdicts beyond the winner are folded into the
+     head memo rather than wasted. *)
+  let next_active_seq () =
+    let rec go () =
+      match Pool.pop pool with
+      | None -> None
+      | Some trigger ->
+          if is_active trigger then Some trigger
+          else begin
+            Obs.incr "restricted.inactive";
+            go ()
+          end
+    in
+    go ()
+  in
+  let next_active =
+    if not (Exec.is_parallel epool) then next_active_seq
+    else begin
+      let base_window = 2 * Exec.jobs epool in
+      let window = ref base_window in
+      let head_satisfied t =
+        Plan.head_satisfied (plan_of (Trigger.tgd t)) src (Trigger.hom t)
+      in
+      let rec go () =
+        if Pool.size pool = 0 then None
+        else begin
+          let cands = Pool.peek_order pool !window in
+          let k = Array.length cands in
+          let active = Array.make k false in
+          (* coordinator-side memo pass: only unknown triggers fan out *)
+          let unknown = ref [] in
+          Array.iteri
+            (fun i t ->
+              if
+                not
+                  (Plan.Head_memo.known_inactive memo
+                     (plan_of (Trigger.tgd t))
+                     (Trigger.hom t))
+              then unknown := i :: !unknown)
+            cands;
+          let unknown = Array.of_list (List.rev !unknown) in
+          let satisfied = Exec.map_array epool (fun i -> head_satisfied cands.(i)) unknown in
+          Array.iteri
+            (fun j i ->
+              if satisfied.(j) then
+                let t = cands.(i) in
+                Plan.Head_memo.record memo (plan_of (Trigger.tgd t)) (Trigger.hom t)
+              else active.(i) <- true)
+            unknown;
+          let first = ref (-1) in
+          (try
+             for i = 0 to k - 1 do
+               if active.(i) then begin
+                 first := i;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          if !first < 0 then begin
+            (* whole window inactive: consume it, widen, rescan *)
+            for _ = 1 to k do
+              ignore (Pool.pop pool);
+              Obs.incr "restricted.inactive"
+            done;
+            window := min 4096 (2 * !window);
+            go ()
+          end
+          else begin
+            for _ = 1 to !first do
+              ignore (Pool.pop pool);
+              Obs.incr "restricted.inactive"
+            done;
+            window := base_window;
+            Pool.pop pool
+          end
+        end
+      in
+      go
+    end
+  in
   let rec loop prev steps_rev n =
     if n >= max_steps then begin
       let status = drain_status pool is_active in
@@ -243,16 +357,12 @@ let run_compiled ~strategy ~max_steps ~gen tgds database =
       Derivation.make ~database ~steps:(List.rev steps_rev) ~status
     end
     else
-      match Pool.pop pool with
+      match next_active () with
       | None ->
           obs_done Derivation.Terminated n;
           Derivation.make ~database ~steps:(List.rev steps_rev) ~status:Terminated
       | Some trigger ->
-          if not (is_active trigger) then begin
-            Obs.incr "restricted.inactive";
-            loop prev steps_rev n
-          end
-          else begin
+          begin
             let produced = Trigger.result ?gen trigger in
             List.iter (fun atom -> ignore (Minstance.add m atom)) produced;
             List.iter
@@ -284,18 +394,18 @@ let run_compiled ~strategy ~max_steps ~gen tgds database =
   loop (Lazy.from_val database) [] 0
 
 let run ?(backend = `Compiled) ?(strategy = Fifo) ?(max_steps = default_max_steps)
-    ?(naming = `Fresh) ?gen tgds database =
+    ?(naming = `Fresh) ?gen ?(pool = Exec.inline) tgds database =
   let gen = resolve_gen naming gen in
   Obs.span "restricted.run" (fun () ->
       match backend with
       | `Naive -> run_naive ~strategy ~max_steps ~gen tgds database
-      | `Compiled -> run_compiled ~strategy ~max_steps ~gen tgds database)
+      | `Compiled -> run_compiled ~strategy ~max_steps ~gen ~epool:pool tgds database)
 
 (* Convenience: chase to completion or fail. *)
 exception Did_not_terminate of Derivation.t
 
-let run_exn ?backend ?strategy ?max_steps ?naming ?gen tgds database =
-  let d = run ?backend ?strategy ?max_steps ?naming ?gen tgds database in
+let run_exn ?backend ?strategy ?max_steps ?naming ?gen ?pool tgds database =
+  let d = run ?backend ?strategy ?max_steps ?naming ?gen ?pool tgds database in
   match Derivation.status d with
   | Terminated -> Derivation.final d
   | Out_of_budget -> raise (Did_not_terminate d)

@@ -34,13 +34,22 @@ val default_max_steps : int
     counters, a [restricted.pool] gauge, a [restricted.run] span, and
     one ["step"] event per applied trigger; the instrumentation never
     influences the derivation (property-tested in [test/suite_obs.ml]).
-    See [docs/OBSERVABILITY.md] for the full signal schema. *)
+    See [docs/OBSERVABILITY.md] for the full signal schema.
+
+    [pool] (default: inline) parallelizes the activity scan on the
+    [`Compiled] backend: a speculative window of upcoming pops is tested
+    across domains against the frozen instance and the first active
+    trigger in pop order wins, so the derivation — triggers, order,
+    nulls, status — is {e bit-identical} to the sequential run for every
+    strategy (property-tested in [test/suite_parallel_exec.ml]; see
+    DESIGN.md §7 for the argument).  The [`Naive] backend ignores it. *)
 val run :
   ?backend:backend ->
   ?strategy:strategy ->
   ?max_steps:int ->
   ?naming:[ `Fresh | `Canonical ] ->
   ?gen:Term.Gen.t ->
+  ?pool:Chase_exec.Pool.t ->
   Tgd.t list ->
   Instance.t ->
   Derivation.t
@@ -55,6 +64,7 @@ val run_exn :
   ?max_steps:int ->
   ?naming:[ `Fresh | `Canonical ] ->
   ?gen:Term.Gen.t ->
+  ?pool:Chase_exec.Pool.t ->
   Tgd.t list ->
   Instance.t ->
   Instance.t

@@ -1,0 +1,164 @@
+(* Spawn-once domain pool with chunked submissions and an ordered join.
+
+   One mutex/condition pair carries both directions: the coordinator
+   bumps [generation] to publish a job and workers bump [completed] to
+   report back.  Within a job, chunks of indices are claimed through an
+   atomic cursor ([Atomic.fetch_and_add]) so the schedule is dynamic but
+   the result array — indexed by input position — is not.  The
+   coordinating domain participates in every job (sink-suspended, see
+   pool.mli), so [jobs = n] means n domains computing, n - 1 spawned. *)
+
+type pool = {
+  njobs : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable generation : int;  (* bumped once per submitted job *)
+  mutable job : unit -> unit;  (* chunk-claiming body of the current job *)
+  mutable completed : int;  (* workers done with the current generation *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+type t = Inline | Pool of pool
+
+let inline = Inline
+
+let worker_loop p () =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock p.mutex;
+    while (not p.stop) && p.generation = !seen do
+      Condition.wait p.cond p.mutex
+    done;
+    if p.stop then begin
+      Mutex.unlock p.mutex;
+      running := false
+    end
+    else begin
+      seen := p.generation;
+      let job = p.job in
+      Mutex.unlock p.mutex;
+      (* the job body traps task exceptions itself; belt and braces *)
+      (try job () with _ -> ());
+      Mutex.lock p.mutex;
+      p.completed <- p.completed + 1;
+      Condition.broadcast p.cond;
+      Mutex.unlock p.mutex
+    end
+  done
+
+let create ~jobs () =
+  if jobs <= 1 then Inline
+  else begin
+    let p =
+      {
+        njobs = jobs;
+        mutex = Mutex.create ();
+        cond = Condition.create ();
+        generation = 0;
+        job = ignore;
+        completed = 0;
+        stop = false;
+        workers = [||];
+      }
+    in
+    (* A system that cannot spawn (domain limit reached) degrades to the
+       inline pool rather than failing the chase. *)
+    match Array.init (jobs - 1) (fun _ -> Domain.spawn (worker_loop p)) with
+    | workers ->
+        p.workers <- workers;
+        Obs.count "pool.domains" (Array.length workers);
+        Pool p
+    | exception _ -> Inline
+  end
+
+let jobs = function Inline -> 1 | Pool p -> p.njobs
+let is_parallel = function Inline -> false | Pool p -> Array.length p.workers > 0
+
+let shutdown = function
+  | Inline -> ()
+  | Pool p ->
+      Mutex.lock p.mutex;
+      let ws = p.workers in
+      p.stop <- true;
+      p.workers <- [||];
+      Condition.broadcast p.cond;
+      Mutex.unlock p.mutex;
+      Array.iter Domain.join ws
+
+let with_pool ~jobs f =
+  let t = create ~jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Publish [body] to every worker, run it on this domain too, and wait
+   until all workers have reported back for this generation. *)
+let run_job p body =
+  Mutex.lock p.mutex;
+  p.job <- body;
+  p.completed <- 0;
+  p.generation <- p.generation + 1;
+  Condition.broadcast p.cond;
+  Mutex.unlock p.mutex;
+  body ();
+  Mutex.lock p.mutex;
+  while p.completed < Array.length p.workers do
+    Condition.wait p.cond p.mutex
+  done;
+  Mutex.unlock p.mutex
+
+let default_chunk n njobs = max 1 (n / (njobs * 4))
+
+let map_array ?chunk t f arr =
+  let n = Array.length arr in
+  match t with
+  | Inline -> Array.map f arr
+  | Pool _ when n = 0 -> [||]
+  | Pool p ->
+      let chunk = max 1 (Option.value chunk ~default:(default_chunk n p.njobs)) in
+      let nchunks = (n + chunk - 1) / chunk in
+      let results = Array.make n None in
+      let cursor = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let body () =
+        let continue = ref true in
+        while !continue do
+          let c = Atomic.fetch_and_add cursor 1 in
+          let lo = c * chunk in
+          if lo >= n || Atomic.get failure <> None then continue := false
+          else
+            let hi = min n (lo + chunk) in
+            try
+              for i = lo to hi - 1 do
+                results.(i) <- Some (f arr.(i))
+              done
+            with e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+        done
+      in
+      Obs.span "pool.run" (fun () ->
+          Obs.count "pool.tasks" n;
+          Obs.count "pool.chunks" nchunks;
+          run_job p (fun () -> Obs.suspended body));
+      (match Atomic.get failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.map
+        (function
+          | Some r -> r
+          | None -> invalid_arg "Chase_exec.Pool.map_array: missing result")
+        results
+
+let map_list ?chunk t f xs =
+  match t with
+  | Inline -> List.map f xs
+  | Pool _ -> Array.to_list (map_array ?chunk t f (Array.of_list xs))
+
+let default_jobs ?(default = 1) () =
+  match Sys.getenv_opt "CHASE_JOBS" with
+  | None -> default
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | _ -> default)

@@ -1,11 +1,13 @@
-(* Process-wide observability: counters, gauges, spans, events, routed
+(* Per-domain observability: counters, gauges, spans, events, routed
    through an optional sink (see obs.mli for the contract).
 
    Everything funnels through [current]; with no sink installed each
-   signal is one load and one branch, so instrumentation can stay in hot
-   paths unconditionally.  The span stack is a plain list ref — the
-   engines are single-threaded, and a per-domain stack can replace it
-   without touching the API if that ever changes. *)
+   signal is one domain-local load and one branch, so instrumentation
+   can stay in hot paths unconditionally.  Both the sink and the span
+   stack live in domain-local storage: a worker domain spawned by
+   [Chase_exec.Pool] starts with no sink, so signals emitted from
+   parallel tasks are no-ops and the (non-thread-safe) Stats/Jsonl
+   sinks only ever run on the domain that installed them. *)
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 
@@ -44,16 +46,19 @@ let tee a b =
         b.on_event name fields);
   }
 
-let current : sink option ref = ref None
+let current : sink option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let install s = current := Some s
-let uninstall () = current := None
-let enabled () = !current <> None
+let get_current () = Domain.DLS.get current
+let set_current s = Domain.DLS.set current s
+
+let install s = set_current (Some s)
+let uninstall () = set_current None
+let enabled () = get_current () <> None
 
 let with_current saved f =
-  let prev = !current in
-  current := saved;
-  Fun.protect ~finally:(fun () -> current := prev) f
+  let prev = get_current () in
+  set_current saved;
+  Fun.protect ~finally:(fun () -> set_current prev) f
 
 let with_sink s f = with_current (Some s) f
 let suspended f = with_current None f
@@ -72,30 +77,32 @@ let now () = !clock () -. !origin
 
 (* --- signals -------------------------------------------------------- *)
 
-let incr name = match !current with None -> () | Some s -> s.on_counter name 1
-let count name n = match !current with None -> () | Some s -> s.on_counter name n
-let gauge name v = match !current with None -> () | Some s -> s.on_gauge name v
-let event name fields = match !current with None -> () | Some s -> s.on_event name fields
+let incr name = match get_current () with None -> () | Some s -> s.on_counter name 1
+let count name n = match get_current () with None -> () | Some s -> s.on_counter name n
+let gauge name v = match get_current () with None -> () | Some s -> s.on_gauge name v
+let event name fields = match get_current () with None -> () | Some s -> s.on_event name fields
 
-let stack : string list ref = ref []
+let stack : string list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
 
 let span_path () =
-  match (!current, !stack) with
+  match (get_current (), Domain.DLS.get stack) with
   | None, _ | _, [] -> None
   | Some _, names -> Some (String.concat "." (List.rev names))
 
 let span name f =
-  match !current with
+  match get_current () with
   | None -> f ()
   | Some _ ->
-      stack := name :: !stack;
-      let path = String.concat "." (List.rev !stack) in
+      Domain.DLS.set stack (name :: Domain.DLS.get stack);
+      let path = String.concat "." (List.rev (Domain.DLS.get stack)) in
       let t0 = !clock () in
       Fun.protect
         ~finally:(fun () ->
           let dt = !clock () -. t0 in
-          (match !stack with _ :: rest -> stack := rest | [] -> ());
-          match !current with None -> () | Some s -> s.on_span path dt)
+          (match Domain.DLS.get stack with
+          | _ :: rest -> Domain.DLS.set stack rest
+          | [] -> ());
+          match get_current () with None -> () | Some s -> s.on_span path dt)
         f
 
 (* --- Stats sink ----------------------------------------------------- *)

@@ -1,7 +1,7 @@
 (** Zero-dependency observability substrate for the chase engines.
 
     The library publishes four kinds of signals, all routed through one
-    process-wide {!type:sink}:
+    per-domain {!type:sink}:
 
     - {b counters} — monotonic event counts ({!incr}, {!count});
     - {b gauges} — last-value measurements such as pool sizes ({!gauge});
@@ -22,7 +22,15 @@
     The module is deliberately dependency-free (OCaml stdlib only): the
     clock defaults to [Sys.time] and executables that care about wall
     clock install a better one with {!set_clock} ([chasectl] and the
-    bench harness use [Unix.gettimeofday]). *)
+    bench harness use [Unix.gettimeofday]).
+
+    {b Domains.}  The sink and the span stack are domain-local: a
+    freshly spawned domain (e.g. a [Chase_exec.Pool] worker) starts with
+    no sink, so signals it emits are no-ops.  This keeps the bundled
+    sinks — which are not thread-safe — confined to the domain that
+    installed them, and makes observation passive under [--jobs N] by
+    construction; parallel components report aggregate [pool.*] signals
+    from the coordinating domain instead. *)
 
 (** Field values of structured {!event} records. *)
 type value = Int of int | Float of float | Str of string | Bool of bool
@@ -43,7 +51,8 @@ val tee : sink -> sink -> sink
 
 (** {1 Installation} *)
 
-(** Install [s] as the process-wide sink (replacing any current one). *)
+(** Install [s] as the calling domain's sink (replacing any current
+    one).  Other domains are unaffected. *)
 val install : sink -> unit
 
 (** Remove the current sink; signals become no-ops again. *)

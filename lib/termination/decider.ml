@@ -25,10 +25,10 @@ type report = {
   detail : string;
 }
 
-let decide ?(sticky_max_states = 50_000) ?(guarded_max_depth = 200) tgds =
+let decide ?(sticky_max_states = 50_000) ?(guarded_max_depth = 200) ?pool tgds =
   let classification = Classification.classify tgds in
   if classification.Classification.single_head && classification.Classification.sticky then
-    let verdict = Sticky_decider.decide ~max_states:sticky_max_states tgds in
+    let verdict = Sticky_decider.decide ~max_states:sticky_max_states ?pool tgds in
     let answer, detail =
       match verdict with
       | Sticky_decider.All_terminating -> (Terminating, "L(A_T) = ∅")
@@ -42,7 +42,7 @@ let decide ?(sticky_max_states = 50_000) ?(guarded_max_depth = 200) tgds =
     { classification; answer; method_used = Sticky_buchi; detail }
   else if classification.Classification.single_head && classification.Classification.guarded
   then
-    let verdict = Guarded_decider.decide ~max_depth:guarded_max_depth tgds in
+    let verdict = Guarded_decider.decide ~max_depth:guarded_max_depth ?pool tgds in
     let answer, detail =
       match verdict with
       | Guarded_decider.Terminating Guarded_decider.Weakly_acyclic ->

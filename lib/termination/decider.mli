@@ -19,6 +19,11 @@ type report = {
   detail : string;
 }
 
-val decide : ?sticky_max_states:int -> ?guarded_max_depth:int -> Chase_core.Tgd.t list -> report
+val decide :
+  ?sticky_max_states:int ->
+  ?guarded_max_depth:int ->
+  ?pool:Chase_exec.Pool.t ->
+  Chase_core.Tgd.t list ->
+  report
 val pp_answer : Format.formatter -> answer -> unit
 val pp : Format.formatter -> report -> unit

@@ -28,6 +28,7 @@
 open Chase_core
 open Chase_engine
 open Chase_classes
+module Exec = Chase_exec.Pool
 
 type termination_proof = Weakly_acyclic | Jointly_acyclic | Model_faithful_acyclic
 
@@ -135,7 +136,7 @@ let obs_proof proof =
             | Model_faithful_acyclic -> "mfa") );
       ]
 
-let decide ?(max_depth = default_max_depth) ?max_states tgds =
+let decide ?(max_depth = default_max_depth) ?max_states ?(pool = Exec.inline) tgds =
   require_guarded tgds;
   Obs.span "guarded.decide" @@ fun () ->
   if Weak_acyclicity.is_weakly_acyclic tgds then begin
@@ -151,19 +152,46 @@ let decide ?(max_depth = default_max_depth) ?max_states tgds =
     Terminating Model_faithful_acyclic
   end
   else begin
-    let candidates = candidate_databases tgds in
-    Obs.gauge "guarded.candidates" (List.length candidates);
+    let candidates = Array.of_list (candidate_databases tgds) in
+    let n = Array.length candidates in
+    Obs.gauge "guarded.candidates" n;
+    (* Pre-warm the plan cache on this domain so parallel searches never
+       contend on compilation (the cache write path is serialized). *)
+    if Exec.is_parallel pool then List.iter (fun t -> ignore (Plan.of_tgd t)) tgds;
     let explored = ref 0 in
-    let rec search = function
-      | [] -> No_divergence_found { candidates = List.length candidates; explored_states = !explored }
-      | database :: rest -> (
-          Obs.incr "guarded.candidates.searched";
-          match Derivation_search.divergence_evidence ~max_depth ?max_states tgds database with
-          | None ->
-              incr explored;
-              search rest
-          | Some derivation ->
-              let acyclic = Join_tree.is_acyclic database in
+    (* Candidates are swept in chunks (one per chunk when inline, so the
+       sequential path is unchanged); within a chunk the searches run
+       across domains and the first hit {e in candidate order} wins, so
+       the verdict and its witnessing database never depend on [pool].
+       Chunks after a hit are not evaluated. *)
+    let chunk = if Exec.is_parallel pool then 2 * Exec.jobs pool else 1 in
+    let rec sweep lo =
+      if lo >= n then None
+      else begin
+        let len = min chunk (n - lo) in
+        Obs.count "guarded.candidates.searched" len;
+        let results =
+          Exec.map_array pool
+            (fun db -> Derivation_search.divergence_evidence ~max_depth ?max_states tgds db)
+            (Array.sub candidates lo len)
+        in
+        let rec first i =
+          if i >= len then None
+          else
+            match results.(i) with
+            | Some derivation -> Some (candidates.(lo + i), derivation)
+            | None ->
+                incr explored;
+                first (i + 1)
+        in
+        match first 0 with Some hit -> Some hit | None -> sweep (lo + len)
+      end
+    in
+    let search () =
+      match sweep 0 with
+      | None -> No_divergence_found { candidates = n; explored_states = !explored }
+      | Some (database, derivation) ->
+          let acyclic = Join_tree.is_acyclic database in
               let treeified =
                 if acyclic then None
                 else
@@ -198,7 +226,7 @@ let decide ?(max_depth = default_max_depth) ?max_states tgds =
                     ("chaseable", Obs.Bool chaseable);
                   ];
               Non_terminating
-                { database; derivation; acyclic; treeified; abstract_tree; chaseable })
+                { database; derivation; acyclic; treeified; abstract_tree; chaseable }
     in
-    search candidates
+    search ()
   end

@@ -44,5 +44,10 @@ val candidate_databases : Tgd.t list -> Instance.t list
 
 val default_max_depth : int
 
-(** @raise Invalid_argument on unguarded or multi-head TGDs. *)
-val decide : ?max_depth:int -> ?max_states:int -> Tgd.t list -> verdict
+(** [pool] parallelizes the candidate-database sweep in chunks; the
+    first divergence hit in candidate order wins, so the verdict and the
+    witnessing database are independent of [pool] (chunks past a hit are
+    never evaluated, preserving the early exit).
+    @raise Invalid_argument on unguarded or multi-head TGDs. *)
+val decide :
+  ?max_depth:int -> ?max_states:int -> ?pool:Chase_exec.Pool.t -> Tgd.t list -> verdict

@@ -76,7 +76,7 @@ let unroll ctx ~start_et ~start_class ~(lasso : Sticky_automaton.letter Buchi.la
 
 let default_unroll_turns = 3
 
-let decide_with_stats ?(max_states = 50_000) ?(unroll_turns = default_unroll_turns) tgds =
+let decide_with_stats ?(max_states = 50_000) ?(unroll_turns = default_unroll_turns) ?pool tgds =
   let ctx = Sticky_automaton.make_context tgds in
   let components = Sticky_automaton.components ctx in
   let explored = ref 0 in
@@ -84,16 +84,16 @@ let decide_with_stats ?(max_states = 50_000) ?(unroll_turns = default_unroll_tur
   let rec search = function
     | [] -> None
     | ((start_et, start_class), automaton) :: rest -> (
-        match Buchi.emptiness ~max_states automaton with
+        match Buchi.emptiness ~max_states ?pool automaton with
         | Buchi.Empty ->
-            explored := !explored + (Buchi.stats ~max_states automaton).Buchi.states;
+            explored := !explored + (Buchi.stats ~max_states ?pool automaton).Buchi.states;
             search rest
         | Buchi.Budget_exceeded n ->
             explored := !explored + n;
             budget_hit := true;
             search rest
         | Buchi.Nonempty lasso ->
-            explored := !explored + (Buchi.stats ~max_states automaton).Buchi.states;
+            explored := !explored + (Buchi.stats ~max_states ?pool automaton).Buchi.states;
             let prefix = unroll ctx ~start_et ~start_class ~lasso ~turns:unroll_turns in
             Some { start_et; start_class; lasso; prefix })
   in
@@ -108,8 +108,8 @@ let decide_with_stats ?(max_states = 50_000) ?(unroll_turns = default_unroll_tur
   in
   { components = List.length components; explored_states = !explored; decision }
 
-let decide ?max_states ?unroll_turns tgds =
-  (decide_with_stats ?max_states ?unroll_turns tgds).decision
+let decide ?max_states ?unroll_turns ?pool tgds =
+  (decide_with_stats ?max_states ?unroll_turns ?pool tgds).decision
 
 (* Independent certificate check: the unrolled prefix really is a valid
    (connected) caterpillar prefix for T. *)

@@ -24,10 +24,15 @@ type stats = { components : int; explored_states : int; decision : verdict }
 
 val default_unroll_turns : int
 
-val decide_with_stats : ?max_states:int -> ?unroll_turns:int -> Tgd.t list -> stats
+(** [pool] parallelizes each component's Büchi exploration (see
+    {!Buchi.emptiness}); the verdict, certificate and state counts are
+    identical to the sequential run. *)
+val decide_with_stats :
+  ?max_states:int -> ?unroll_turns:int -> ?pool:Chase_exec.Pool.t -> Tgd.t list -> stats
 
 (** @raise Invalid_argument when the TGDs are not sticky. *)
-val decide : ?max_states:int -> ?unroll_turns:int -> Tgd.t list -> verdict
+val decide :
+  ?max_states:int -> ?unroll_turns:int -> ?pool:Chase_exec.Pool.t -> Tgd.t list -> verdict
 
 (** Validate a certificate against the caterpillar definitions. *)
 val check_certificate : Tgd.t list -> certificate -> (unit, string) result

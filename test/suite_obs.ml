@@ -417,6 +417,28 @@ let properties =
                  [ `Compiled; `Naive ])
              strategies));
     QCheck_alcotest.to_alcotest
+      (Test.make ~name:"tracing is passive under a domain pool" ~count:40
+         (Gen.pair tgds_gen (Gen.int_bound 100_000))
+         (fun (tgds, seed) ->
+           (* A sink installed while jobs>1 must not change the derivation:
+              the coordinator emits only aggregate pool.* signals, worker
+              domains have no sink at all (per-domain DLS). *)
+           let db = random_db tgds seed in
+           let jobs = Chase_exec.Pool.default_jobs ~default:3 () in
+           List.for_all
+             (fun strategy ->
+               let plain = Restricted.run ~strategy ~max_steps:60 tgds db in
+               let st = Obs.Stats.create () in
+               let traced =
+                 Obs.with_sink (Obs.Stats.sink st) (fun () ->
+                     Chase_exec.Pool.with_pool ~jobs (fun pool ->
+                         Restricted.run ~strategy ~max_steps:60 ~pool tgds db))
+               in
+               same_derivation plain traced
+               && Obs.Stats.counter st "restricted.steps" = Derivation.length plain
+               && (jobs = 1 || Obs.Stats.counter st "pool.domains" = jobs - 1))
+             strategies));
+    QCheck_alcotest.to_alcotest
       (Test.make ~name:"trace lines parse as JSON for random workloads" ~count:30
          (Gen.pair tgds_gen (Gen.int_bound 100_000))
          (fun (tgds, seed) ->
