@@ -16,6 +16,13 @@ JOBS ?= 1
 bench-smoke:
 	dune exec bench/main.exe -- --json --smoke --jobs $(JOBS) E11 E12
 
+# Differential fuzzing across the engine matrix (DESIGN.md §8); exits
+# nonzero with a shrunk repro on any cross-engine discrepancy, e.g.
+# `make fuzz CASES=1000 JOBS=4`.
+CASES ?= 500
+fuzz:
+	dune exec bin/chasectl.exe -- fuzz --cases $(CASES) --seed 42 --jobs $(JOBS)
+
 examples:
 	dune exec examples/quickstart.exe
 	dune exec examples/data_exchange.exe
@@ -35,4 +42,4 @@ doc:
 clean:
 	dune clean
 
-.PHONY: all test bench bench-smoke examples gallery doc clean
+.PHONY: all test bench bench-smoke fuzz examples gallery doc clean

@@ -351,6 +351,84 @@ let msol_cmd =
     (Cmd.info "msol" ~doc:"Build the MSOL sentence φ_T of Lemma 5.12 and report its shape.")
     Term.(const run $ file_arg $ print_arg)
 
+(* --- fuzz ------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let run cases seed profiles jobs no_shrink corpus_dir json stats trace_json =
+    let profiles =
+      match profiles with
+      | [] -> Chase_check.Profile.all
+      | names ->
+          List.map (fun n -> or_die (Chase_check.Profile.of_name n)) names
+    in
+    let config =
+      {
+        Chase_check.Harness.cases;
+        seed;
+        profiles;
+        jobs;
+        shrink = not no_shrink;
+        corpus_dir;
+      }
+    in
+    let report =
+      with_obs ~stats ~trace_json @@ fun () ->
+      with_jobs jobs @@ fun pool -> Chase_check.Harness.run ~pool config
+    in
+    if json then print_endline (Chase_check.Harness.json report)
+    else begin
+      List.iter
+        (fun (f : Chase_check.Harness.failure) ->
+          Format.eprintf "--- %s seed %d ---@."
+            (Chase_check.Profile.name f.Chase_check.Harness.profile)
+            f.Chase_check.Harness.case_seed;
+          List.iter
+            (fun d -> Format.eprintf "  %a@." Chase_check.Oracle.pp_discrepancy d)
+            f.Chase_check.Harness.discrepancies;
+          Format.eprintf "  minimal repro:@.%s@." f.Chase_check.Harness.repro;
+          Option.iter
+            (fun p -> Format.eprintf "  written to %s@." p)
+            f.Chase_check.Harness.written)
+        report.Chase_check.Harness.failures;
+      print_endline (Chase_check.Harness.summary report)
+    end;
+    if report.Chase_check.Harness.failures <> [] then exit 1
+  in
+  let cases_arg =
+    Arg.(value & opt int 200 & info [ "cases"; "n" ] ~docv:"N" ~doc:"Number of random cases.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Master seed (runs are deterministic in it).")
+  in
+  let profile_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "profile"; "p" ] ~docv:"P"
+          ~doc:
+            (Printf.sprintf "Fuzzing profile, repeatable (default: all of %s)."
+               (String.concat ", " Chase_check.Profile.names)))
+  in
+  let no_shrink_arg =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report raw failing cases without delta-debugging.")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR" ~doc:"Write shrunk repros to $(docv) as corpus files.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the machine-readable report on stdout.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random programs through every engine configuration, checking \
+          cross-engine invariants; failures are delta-debugged to minimal repros (exit 1 on \
+          any discrepancy).")
+    Term.(
+      const run $ cases_arg $ seed_arg $ profile_arg $ jobs_arg $ no_shrink_arg $ corpus_arg
+      $ json_arg $ stats_arg $ trace_json_arg)
+
 (* --- scenarios ------------------------------------------------------- *)
 
 let scenarios_cmd =
@@ -374,7 +452,7 @@ let main =
   Cmd.group info
     [
       classify_cmd; chase_cmd; decide_cmd; query_cmd; automaton_cmd; ochase_cmd;
-      extract_cmd; treeify_cmd; msol_cmd; scenarios_cmd;
+      extract_cmd; treeify_cmd; msol_cmd; fuzz_cmd; scenarios_cmd;
     ]
 
 let () = exit (Cmd.eval main)

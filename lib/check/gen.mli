@@ -1,0 +1,16 @@
+(** Seeded case generation for the differential oracle: a TGD set drawn
+    from the profile's class generator ([Chase_workload.Tgd_gen], plus a
+    structurally unconstrained generator for {!Profile.Unrestricted})
+    and a random database over its schema.  Deterministic in
+    [(profile, seed)]. *)
+
+open Chase_core
+
+type case = {
+  profile : Profile.t;
+  seed : int;
+  tgds : Tgd.t list;
+  database : Instance.t;
+}
+
+val generate : profile:Profile.t -> seed:int -> case

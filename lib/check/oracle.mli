@@ -1,0 +1,53 @@
+(** The differential oracle: run one case through every engine
+    configuration and check the metamorphic invariants that tie the
+    paper's chase variants together.  A non-empty result is a bug in
+    some engine, decider, or in the invariant itself — never "the
+    random program was weird": every check is budget-aware and only
+    fires when the involved runs actually completed within budget.
+
+    Invariants checked (names appear in {!discrepancy.invariant}):
+
+    - [backend-agreement] — naive and compiled restricted runs are
+      bit-identical (status, triggers, produced atoms, final instance)
+      for every strategy; same for the oblivious variants.
+    - [jobs-agreement] — a parallel pool run equals the sequential one.
+    - [derivation-valid] — every step applied an active trigger to the
+      previous instance ([Derivation.validate]).
+    - [model] — a terminated restricted run's final instance is a model
+      of the TGDs extending the database.
+    - [stop-relation] — Fact 3.5: each applied trigger is active via
+      the ≺s characterization on the instance it was applied to
+      (single-head sets).
+    - [oblivious-universal] — when both complete, the oblivious result
+      and a terminated restricted result are hom-equivalent (both are
+      universal models).
+    - [ochase-atoms] — a complete ochase's atom set equals the
+      saturated (set-based) oblivious chase (Def 3.3 vs §3.1).
+    - [decider-crash] — [Decider.decide] must not raise.
+    - [decider-wa] — weak acyclicity refutes a [Non_terminating] answer.
+    - [decider-termination] — a [Terminating] answer contradicted by
+      divergence evidence from the exhaustive derivation search (only
+      attempted on small cases, with a depth budget well beyond the
+      observed derivation lengths).
+    - [engine-crash] — any engine raising an exception. *)
+
+open Chase_core
+
+type discrepancy = { invariant : string; detail : string }
+
+type budgets = {
+  restricted_steps : int;
+  oblivious_steps : int;
+  ochase_nodes : int;
+  search_depth : int;
+  search_states : int;
+}
+
+val default_budgets : budgets
+
+val pp_discrepancy : Format.formatter -> discrepancy -> unit
+
+(** Run the full matrix.  [pool] (default: inline) additionally checks
+    parallel-vs-sequential agreement when it is an actual pool. *)
+val check :
+  ?pool:Chase_exec.Pool.t -> ?budgets:budgets -> Tgd.t list -> Instance.t -> discrepancy list

@@ -1,0 +1,46 @@
+(* Fuzzing profiles: a target TGD class × a constants switch. *)
+
+type klass = Linear | Guarded | Sticky | Weakly_acyclic | Unrestricted
+
+type t = { klass : klass; constants : bool }
+
+let klasses = [ Linear; Guarded; Sticky; Weakly_acyclic; Unrestricted ]
+
+let all =
+  List.concat_map
+    (fun klass -> [ { klass; constants = false }; { klass; constants = true } ])
+    klasses
+
+let klass_name = function
+  | Linear -> "linear"
+  | Guarded -> "guarded"
+  | Sticky -> "sticky"
+  | Weakly_acyclic -> "wa"
+  | Unrestricted -> "any"
+
+let name t = klass_name t.klass ^ if t.constants then "+const" else ""
+
+let of_name s =
+  let klass_of = function
+    | "linear" -> Some Linear
+    | "guarded" -> Some Guarded
+    | "sticky" -> Some Sticky
+    | "wa" -> Some Weakly_acyclic
+    | "any" -> Some Unrestricted
+    | _ -> None
+  in
+  let base, constants =
+    match String.index_opt s '+' with
+    | Some i when String.sub s i (String.length s - i) = "+const" ->
+        (String.sub s 0 i, true)
+    | _ -> (s, false)
+  in
+  match klass_of base with
+  | Some klass -> Ok { klass; constants }
+  | None ->
+      Error
+        (Printf.sprintf "unknown profile %S (expected one of: %s)" s
+           (String.concat ", "
+              (List.map (fun k -> klass_name k ^ "[+const]") klasses)))
+
+let names = List.map name all

@@ -1,0 +1,21 @@
+(** Fuzzing profiles: which TGD class the generator aims for, and
+    whether constants are injected into rules and facts.  A profile is a
+    {e generation target}, not a promise — the oracle never assumes the
+    produced set actually lies in the class (it re-classifies). *)
+
+type klass = Linear | Guarded | Sticky | Weakly_acyclic | Unrestricted
+
+type t = { klass : klass; constants : bool }
+
+(** Every class, with and without constants — the default fuzzing mix. *)
+val all : t list
+
+(** Stable name, e.g. ["guarded"] or ["guarded+const"]; the value used
+    by [chasectl fuzz --profile] and in reports. *)
+val name : t -> string
+
+(** Inverse of {!name}. *)
+val of_name : string -> (t, string) result
+
+(** The names of {!all}, for CLI help. *)
+val names : string list

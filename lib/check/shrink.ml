@@ -1,0 +1,36 @@
+(* Greedy one-at-a-time delta debugging (ddmin's terminal granularity,
+   which is all these small cases need).  [fails] is expected to re-run
+   the oracle; trials are counted on [check.shrink_steps]. *)
+
+open Chase_core
+
+(* Drop list elements one at a time, keeping each removal that still
+   fails.  Returns the shrunk list and whether anything was removed. *)
+let shrink_list ~fails xs =
+  let changed = ref false in
+  let rec go kept = function
+    | [] -> List.rev kept
+    | x :: rest ->
+        let candidate = List.rev_append kept rest in
+        Obs.incr "check.shrink_steps";
+        if fails candidate then begin
+          changed := true;
+          go kept rest
+        end
+        else go (x :: kept) rest
+  in
+  let xs' = go [] xs in
+  (xs', !changed)
+
+let minimize ~fails tgds db =
+  (* Interleave TGD and fact passes to a fixpoint: removing a TGD can
+     unlock fact removals and vice versa. *)
+  let rec fix tgds facts =
+    let tgds', tc = shrink_list ~fails:(fun ts -> fails ts (Instance.of_list facts)) tgds in
+    let facts', fc =
+      shrink_list ~fails:(fun fs -> fails tgds' (Instance.of_list fs)) facts
+    in
+    if tc || fc then fix tgds' facts' else (tgds', facts')
+  in
+  let tgds', facts' = fix tgds (Instance.to_list db) in
+  (tgds', Instance.of_list facts')

@@ -1,0 +1,15 @@
+(** Greedy delta-debugging of a failing case: repeatedly drop one TGD
+    or one database fact, keeping the removal whenever [fails] still
+    holds, until a pass over every component removes nothing.  The
+    result is 1-minimal — removing any single remaining TGD or fact
+    makes the failure disappear.
+
+    Every trial bumps the [check.shrink_steps] counter. *)
+
+open Chase_core
+
+val minimize :
+  fails:(Tgd.t list -> Instance.t -> bool) ->
+  Tgd.t list ->
+  Instance.t ->
+  Tgd.t list * Instance.t

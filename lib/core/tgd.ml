@@ -11,14 +11,16 @@ exception Ill_formed of string
 
 let ill_formed fmt = Format.kasprintf (fun s -> raise (Ill_formed s)) fmt
 
-let check_constant_free which atoms =
+(* Constants are admitted (standard Datalog±); nulls are runtime-only
+   values that never belong in a dependency. *)
+let check_null_free which atoms =
   List.iter
     (fun a ->
       List.iter
         (fun t ->
-          if not (Term.is_var t) then
-            ill_formed "TGD %s contains non-variable term %s in %s" (Atom.to_string a)
-              (Term.to_string t) which)
+          if Term.is_null t then
+            ill_formed "TGD %s contains null %s in %s" (Atom.to_string a) (Term.to_string t)
+              which)
         (Atom.terms a))
     atoms
 
@@ -28,9 +30,15 @@ let var_set atoms =
 let make ?(name = "") ~body ~head () =
   if body = [] then ill_formed "TGD %s has an empty body" name;
   if head = [] then ill_formed "TGD %s has an empty head" name;
-  check_constant_free "the body" body;
-  check_constant_free "the head" head;
+  check_null_free "the body" body;
+  check_null_free "the head" head;
   { name; body; head }
+
+let constant_free t =
+  let atom_cf a = List.for_all (fun x -> not (Term.is_const x)) (Atom.terms a) in
+  List.for_all atom_cf t.body && List.for_all atom_cf t.head
+
+let constant_free_set ts = List.for_all constant_free ts
 
 let name t = t.name
 let with_name name t = { t with name }

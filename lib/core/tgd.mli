@@ -3,17 +3,25 @@
 
     The theory in the paper concerns {e single-head}, constant-free TGDs;
     the representation also admits multi-head TGDs (the head is an atom
-    list), which are needed for the fairness counterexample (Example B.1).
-    Functions that require single-headedness say so. *)
+    list), which are needed for the fairness counterexample (Example B.1),
+    and TGDs mentioning constants (standard Datalog±), which the chase
+    engines support.  Functions that require single-headedness or
+    constant-freeness say so; {!constant_free} tests the latter. *)
 
 type t
 
 exception Ill_formed of string
 
-(** Build a TGD.
-    @raise Ill_formed when the body or head is empty or contains a
-    non-variable term (TGDs are constant-free). *)
+(** Build a TGD.  Constants may occur in the body and the head; nulls —
+    runtime-only values — may not.
+    @raise Ill_formed when the body or head is empty or contains a null. *)
 val make : ?name:string -> body:Atom.t list -> head:Atom.t list -> unit -> t
+
+(** No constant occurs in the body or head.  The paper's decision
+    procedures (§5, §6) assume constant-free sets; the engines do not. *)
+val constant_free : t -> bool
+
+val constant_free_set : t list -> bool
 
 val name : t -> string
 val with_name : string -> t -> t

@@ -65,8 +65,17 @@ let suspended f = with_current None f
 
 (* --- clock ---------------------------------------------------------- *)
 
-let clock = ref Sys.time
-let origin = ref (Sys.time ())
+(* Wall clock by default.  [Sys.time] (process CPU seconds) was the
+   original default and silently skewed span durations whenever worker
+   domains burned CPU in parallel regions — every domain's CPU time
+   accrues to the process, so a [--jobs N] run could report spans longer
+   than the wall time unless each entry point remembered to install
+   [Unix.gettimeofday] itself.  Defaulting to the wall clock makes span
+   durations honest everywhere; [set_clock] still accepts any
+   monotonically increasing source (tests install a virtual one) and
+   re-anchors the origin so [now] never jumps across clock changes. *)
+let clock = ref Unix.gettimeofday
+let origin = ref (Unix.gettimeofday ())
 
 let set_clock c =
   clock := c;

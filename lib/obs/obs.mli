@@ -19,10 +19,11 @@
     aggregation, snapshot at the end) and {!Jsonl} (one JSON object per
     signal, the [--trace-json] format); {!tee} composes sinks.
 
-    The module is deliberately dependency-free (OCaml stdlib only): the
-    clock defaults to [Sys.time] and executables that care about wall
-    clock install a better one with {!set_clock} ([chasectl] and the
-    bench harness use [Unix.gettimeofday]).
+    The module depends only on the OCaml stdlib and [unix]: the clock
+    defaults to [Unix.gettimeofday] (wall time — honest for spans that
+    cover parallel regions, where CPU time over- or under-reports), and
+    {!set_clock} installs any other monotonically increasing source,
+    re-anchoring the origin of {!now}.
 
     {b Domains.}  The sink and the span stack are domain-local: a
     freshly spawned domain (e.g. a [Chase_exec.Pool] worker) starts with
@@ -73,10 +74,11 @@ val suspended : (unit -> 'a) -> 'a
 
 (** {1 Clock} *)
 
-(** Replace the time source (seconds, monotonically increasing).  The
-    default is [Sys.time] — CPU seconds, which approximates wall clock
-    for the single-threaded engines but should be overridden with a real
-    wall clock where available. *)
+(** Replace the time source (seconds, monotonically increasing) and
+    re-anchor the origin of {!now} at the new source's current instant.
+    The default is [Unix.gettimeofday] — wall time, correct for span
+    durations even when worker domains burn CPU in parallel ([Sys.time]
+    counts every domain's CPU and would skew them). *)
 val set_clock : (unit -> float) -> unit
 
 (** Seconds since {!reset_clock} (or process start) per the current

@@ -19,8 +19,9 @@ let advance st =
   | None -> ());
   st.pos <- st.pos + 1
 
-let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+let is_ident_start c = c >= 'a' && c <= 'z'
 let is_var_start c = (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
 
 let is_ident_char c =
   (c >= 'a' && c <= 'z')
@@ -59,6 +60,34 @@ let lex_word st =
   in
   go ();
   String.sub st.src start (st.pos - start)
+
+(* Integer constants: a maximal digit run.  A digit run glued to
+   identifier characters ("123foo") is a malformed token, not a
+   predicate name — report it as such instead of mis-lexing. *)
+let lex_number st =
+  let line = st.line and col = st.col in
+  let start = st.pos in
+  let rec digits () =
+    match peek st with
+    | Some c when is_digit c ->
+        advance st;
+        digits ()
+    | _ -> ()
+  in
+  digits ();
+  match peek st with
+  | Some c when is_ident_char c ->
+      let rec rest () =
+        match peek st with
+        | Some c when is_ident_char c ->
+            advance st;
+            rest ()
+        | _ -> ()
+      in
+      rest ();
+      error line col "malformed number %S (identifiers must start with a lowercase letter)"
+        (String.sub st.src start (st.pos - start))
+  | _ -> String.sub st.src start (st.pos - start)
 
 let lex_quoted st =
   let line = st.line and col = st.col in
@@ -105,6 +134,7 @@ let next st : Token.located =
           advance st;
           mk Arrow
       | _ -> error line col "expected '>' after '-'")
+  | Some c when is_digit c -> mk (Number (lex_number st))
   | Some c when is_var_start c -> mk (Uident (lex_word st))
   | Some c when is_ident_start c -> (
       let w = lex_word st in

@@ -7,7 +7,7 @@
    atoms    ::= atom (',' atom)*
    atom     ::= pred '(' term (',' term)* ')'
    term     ::= VARIABLE | constant
-   constant ::= lowercase identifier | quoted string
+   constant ::= lowercase identifier | integer | quoted string
 
    Head variables not bound in the body are implicitly existential; an
    explicit 'exists' list is also accepted (and checked). *)
@@ -21,10 +21,21 @@ let error (t : Token.located) fmt =
 
 type state = { mutable toks : Token.located list }
 
-let peek st = match st.toks with [] -> assert false | t :: _ -> t
+(* [Lexer.tokenize] always ends the stream with an [Eof] token and
+   [advance] keeps that final token, so a well-formed stream is never
+   exhausted; an empty list (a hand-built state, or a stream not ending
+   in [Eof]) raises a positioned error instead of tripping an assert. *)
+let peek st =
+  match st.toks with
+  | [] -> raise (Error { line = 1; col = 1; msg = "unexpected end of input" })
+  | t :: _ -> t
+
 let peek2 st = match st.toks with _ :: t :: _ -> Some t | _ -> None
 
-let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+let advance st =
+  match st.toks with
+  | [] | [ _ ] -> ()  (* the final token (Eof) is sticky *)
+  | _ :: rest -> st.toks <- rest
 
 let expect st token =
   let t = peek st in
@@ -41,6 +52,9 @@ let parse_term st =
       advance st;
       Term.Const c
   | Token.Quoted c ->
+      advance st;
+      Term.Const c
+  | Token.Number c ->
       advance st;
       Term.Const c
   | tok -> error t "expected a term, found %s" (Token.to_string tok)

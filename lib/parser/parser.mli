@@ -7,9 +7,11 @@
     v}
 
     Uppercase- or underscore-initial identifiers are variables; lowercase
-    identifiers and quoted strings are constants.  Head variables not
-    bound in the body are implicitly existential; an explicit [exists]
-    list is checked against them. *)
+    identifiers, integers and quoted strings are constants.  Head
+    variables not bound in the body are implicitly existential; an
+    explicit [exists] list is checked against them.  Errors — including
+    an unexpected end of input — are reported as positioned {!Error}s,
+    never as assertion failures. *)
 
 open Chase_core
 

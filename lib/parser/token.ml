@@ -11,6 +11,7 @@ type t =
   | Ident of string  (* lowercase identifier: predicate or constant *)
   | Uident of string  (* variable *)
   | Quoted of string  (* quoted constant *)
+  | Number of string  (* integer constant *)
   | Lparen
   | Rparen
   | Comma
@@ -25,6 +26,7 @@ let to_string = function
   | Ident s -> Printf.sprintf "identifier %S" s
   | Uident s -> Printf.sprintf "variable %S" s
   | Quoted s -> Printf.sprintf "constant %S" s
+  | Number s -> Printf.sprintf "number %s" s
   | Lparen -> "'('"
   | Rparen -> "')'"
   | Comma -> "','"

@@ -27,7 +27,14 @@ type report = {
 
 let decide ?(sticky_max_states = 50_000) ?(guarded_max_depth = 200) ?pool tgds =
   let classification = Classification.classify tgds in
-  if classification.Classification.single_head && classification.Classification.sticky then
+  (* The §5/§6 procedures assume the paper's constant-free setting; a
+     set mentioning constants is answered by weak acyclicity below
+     (sound with constants) rather than crashing those procedures. *)
+  let constant_free = Tgd.constant_free_set tgds in
+  if
+    constant_free && classification.Classification.single_head
+    && classification.Classification.sticky
+  then
     let verdict = Sticky_decider.decide ~max_states:sticky_max_states ?pool tgds in
     let answer, detail =
       match verdict with
@@ -40,7 +47,9 @@ let decide ?(sticky_max_states = 50_000) ?(guarded_max_depth = 200) ?pool tgds =
       | Sticky_decider.Inconclusive m -> (Unknown, m)
     in
     { classification; answer; method_used = Sticky_buchi; detail }
-  else if classification.Classification.single_head && classification.Classification.guarded
+  else if
+    constant_free && classification.Classification.single_head
+    && classification.Classification.guarded
   then
     let verdict = Guarded_decider.decide ~max_depth:guarded_max_depth ?pool tgds in
     let answer, detail =
@@ -68,7 +77,12 @@ let decide ?(sticky_max_states = 50_000) ?(guarded_max_depth = 200) ?pool tgds =
       classification;
       answer = (if wa then Terminating else Unknown);
       method_used = Weak_acyclicity_check;
-      detail = (if wa then "weakly acyclic" else "outside the decidable classes implemented");
+      detail =
+        (if wa then "weakly acyclic"
+         else if not constant_free then
+           "mentions constants (outside the paper's constant-free procedures); not weakly \
+            acyclic"
+         else "outside the decidable classes implemented");
     }
 
 let pp_answer ppf = function

@@ -70,6 +70,13 @@ type context = { tgds : Tgd.t array; marking : Stickiness.t }
 
 let make_context tgds =
   if not (Stickiness.is_sticky tgds) then invalid_arg "Sticky_automaton: TGDs must be sticky";
+  (* The equality-type abstraction tracks only which positions carry the
+     same term, never which constant a position carries, so a TGD
+     mentioning a constant has no sound encoding here; reject up front
+     instead of crashing mid-transition (the facade decider falls back to
+     weak acyclicity for such sets). *)
+  if not (Tgd.constant_free_set tgds) then
+    invalid_arg "Sticky_automaton: TGDs must be constant-free";
   { tgds = Array.of_list tgds; marking = Stickiness.marking tgds }
 
 (* Λ_T. *)
@@ -144,7 +151,10 @@ let next ctx state letter =
                 match Hashtbl.find_opt vclass v with
                 | Some c -> Old c
                 | None -> if Term.Set.mem (Term.Var v) frontier then Leg v else Ex v)
-            | Term.Const _ | Term.Null _ -> assert false)
+            | Term.Const _ | Term.Null _ ->
+                (* unreachable: [make_context] rejects constant-bearing
+                   TGDs and [Tgd.make] rejects nulls *)
+                assert false)
           (Atom.args_a head)
       in
       let n' = Array.length syms in

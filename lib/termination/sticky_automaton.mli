@@ -30,7 +30,9 @@ val state_key : state -> string
 
 type context = { tgds : Tgd.t array; marking : Stickiness.t }
 
-(** @raise Invalid_argument when the TGDs are not sticky. *)
+(** @raise Invalid_argument when the TGDs are not sticky, or when they
+    mention constants (the equality-type abstraction does not track
+    constants; the facade decider falls back to weak acyclicity). *)
 val make_context : Tgd.t list -> context
 
 (** Λ_T, enumerated. *)

@@ -54,7 +54,10 @@ let unroll ctx ~start_et ~start_class ~(lasso : Sticky_automaton.letter Buchi.la
         (fun i t ->
           match t with
           | Term.Var _ -> h := Option.get (Substitution.unify t (Atom.arg !current i) !h)
-          | Term.Const _ | Term.Null _ -> assert false)
+          | Term.Const _ | Term.Null _ ->
+              (* unreachable: the context's TGDs are constant-free
+                 (checked by [Sticky_automaton.make_context]) *)
+              assert false)
         (Atom.args_a gamma);
       (* remaining body variables are fresh (the free caterpillar) *)
       Term.Set.iter

@@ -30,7 +30,9 @@ val default_unroll_turns : int
 val decide_with_stats :
   ?max_states:int -> ?unroll_turns:int -> ?pool:Chase_exec.Pool.t -> Tgd.t list -> stats
 
-(** @raise Invalid_argument when the TGDs are not sticky. *)
+(** @raise Invalid_argument when the TGDs are not sticky or mention
+    constants (rejected up front by {!Sticky_automaton.make_context};
+    no crash path remains for constant-bearing inputs). *)
 val decide :
   ?max_states:int -> ?unroll_turns:int -> ?pool:Chase_exec.Pool.t -> Tgd.t list -> verdict
 

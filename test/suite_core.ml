@@ -84,8 +84,12 @@ let unit_tests =
         Alcotest.(check bool) "satisfied" true (Tgd.satisfied_by i t);
         let t2 = Chase_parser.Parser.parse_tgd "r(X,Y) -> exists Z. r(Y,Z)." in
         Alcotest.(check bool) "violated" false (Tgd.satisfied_by i t2));
-    Alcotest.test_case "tgd rejects constants" `Quick (fun () ->
-        match Tgd.make ~body:[ a [ c "k"; v "Y" ] ] ~head:[ a [ v "Y"; v "Y" ] ] () with
+    Alcotest.test_case "tgd accepts constants but rejects nulls" `Quick (fun () ->
+        let t = Tgd.make ~body:[ a [ c "k"; v "Y" ] ] ~head:[ a [ v "Y"; v "Y" ] ] () in
+        Alcotest.(check bool) "not constant-free" false (Tgd.constant_free t);
+        let cf = Tgd.make ~body:[ a [ v "X"; v "Y" ] ] ~head:[ a [ v "Y"; v "Y" ] ] () in
+        Alcotest.(check bool) "constant-free" true (Tgd.constant_free cf);
+        match Tgd.make ~body:[ a [ n "u"; v "Y" ] ] ~head:[ a [ v "Y"; v "Y" ] ] () with
         | exception Tgd.Ill_formed _ -> ()
         | _ -> Alcotest.fail "expected Ill_formed");
     Alcotest.test_case "schema arity conflict" `Quick (fun () ->

@@ -17,7 +17,25 @@ let str = Alcotest.string
 let with_fake_clock f =
   let t = ref 0.0 in
   Obs.set_clock (fun () -> !t);
-  Fun.protect ~finally:(fun () -> Obs.set_clock Sys.time) (fun () -> f t)
+  Fun.protect ~finally:(fun () -> Obs.set_clock Unix.gettimeofday) (fun () -> f t)
+
+(* The default clock is wall time, so a span around a sleep — which burns
+   no CPU — must report (roughly) the slept duration.  Under the old
+   [Sys.time] default this span measured ~0 s; under a jobs>1 pool it
+   over-reported instead (every domain's CPU accrues to the process). *)
+let test_wall_clock_spans () =
+  let st = Obs.Stats.create () in
+  Obs.with_sink (Obs.Stats.sink st) (fun () -> Obs.span "sleep" (fun () -> Unix.sleepf 0.05));
+  (match Obs.Stats.spans st with
+  | [ ("sleep", (1, s)) ] ->
+      check bool "span covers the sleep" true (s >= 0.03);
+      check bool "span is sane (not hours)" true (s < 10.0)
+  | spans ->
+      Alcotest.failf "unexpected spans: %s" (String.concat ", " (List.map fst spans)));
+  (* [set_clock] re-anchors the origin: [now] restarts near 0 for the
+     new clock rather than keeping the old origin. *)
+  Obs.set_clock Unix.gettimeofday;
+  check bool "origin re-anchored" true (Float.abs (Obs.now ()) < 1.0)
 
 (* --- Stats accounting ------------------------------------------------ *)
 
@@ -456,6 +474,8 @@ let unit_tests =
     Alcotest.test_case "counters sum" `Quick test_counters;
     Alcotest.test_case "gauges keep last, events count" `Quick test_gauges_events;
     Alcotest.test_case "span durations and nesting" `Quick test_spans;
+    Alcotest.test_case "default clock is wall time; set_clock re-anchors" `Quick
+      test_wall_clock_spans;
     Alcotest.test_case "span paths and exception safety" `Quick test_span_path_and_exceptions;
     Alcotest.test_case "with_sink/suspended scoping" `Quick test_plumbing;
     Alcotest.test_case "tee duplicates signals" `Quick test_tee;

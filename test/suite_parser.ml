@@ -37,6 +37,42 @@ let unit_tests =
         | exception Parser.Error { line; _ } -> Alcotest.(check int) "line" 1 line
         | exception Lexer.Error { line; _ } -> Alcotest.(check int) "line" 1 line
         | _ -> Alcotest.fail "expected an error");
+    Alcotest.test_case "integer constants lex as numbers" `Quick (fun () ->
+        let p = Parser.parse_program "r(1,2). r(1,c3)." in
+        let db = Program.database p in
+        Alcotest.(check int) "two facts" 2 (Instance.cardinal db);
+        Alcotest.(check bool) "1 is a constant" true
+          (Instance.exists (fun a -> List.mem (Term.Const "1") (Atom.args a)) db));
+    Alcotest.test_case "a digit run glued to letters is malformed" `Quick (fun () ->
+        let contains_sub s sub =
+          let n = String.length sub in
+          let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+          go 0
+        in
+        match Parser.parse_program "r(123foo)." with
+        | exception Lexer.Error { line; msg; _ } ->
+            Alcotest.(check int) "line" 1 line;
+            Alcotest.(check bool) "mentions the token" true (contains_sub msg "123foo")
+        | _ -> Alcotest.fail "expected a lexer error");
+    Alcotest.test_case "identifiers cannot start with a digit" `Quick (fun () ->
+        match Parser.parse_program "1r(a)." with
+        | exception Lexer.Error { line; _ } -> Alcotest.(check int) "line" 1 line
+        | exception Parser.Error { line; _ } -> Alcotest.(check int) "line" 1 line
+        | _ -> Alcotest.fail "expected an error");
+    Alcotest.test_case "truncated input reports a positioned error" `Quick (fun () ->
+        List.iter
+          (fun src ->
+            match Parser.parse_program src with
+            | exception Parser.Error { line; _ } ->
+                Alcotest.(check bool) (src ^ " line positive") true (line >= 1)
+            | exception Lexer.Error { line; _ } ->
+                Alcotest.(check bool) (src ^ " line positive") true (line >= 1)
+            | _ -> Alcotest.fail ("expected an error for " ^ String.escaped src))
+          [ "r(a,b) ->"; "r(a,b) -> exists"; "r(a,b) -> exists Z"; "r(X) -> s(X)"; "name:" ]);
+    Alcotest.test_case "comments-only input is the empty program" `Quick (fun () ->
+        let p = Parser.parse_program "% nothing here\n// nor here\n" in
+        Alcotest.(check int) "no tgds" 0 (List.length (Program.tgds p));
+        Alcotest.(check bool) "no facts" true (Instance.is_empty (Program.database p)));
     Alcotest.test_case "printer round-trips programs" `Quick (fun () ->
         let src =
           "s1: r(X,Y), t(Y) -> exists Z. p(X,Z).\ns2: p(X,Y) -> exists Z. p(Y,Z).\n\

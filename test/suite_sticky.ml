@@ -83,5 +83,23 @@ let suite =
             Alcotest.check_raises "invalid"
               (Invalid_argument "Sticky_automaton: TGDs must be sticky")
               (fun () -> ignore (Sticky_decider.decide non_sticky)));
+        Alcotest.test_case "constant-bearing input is rejected up front, not a crash" `Quick
+          (fun () ->
+            (* Sticky but mentions a constant: the equality-type
+               abstraction cannot track it, so the automaton refuses
+               cleanly (the unroll used to hit an assert). *)
+            let with_const = parse "r(X,c) -> exists Z. r(X,Z)." in
+            Alcotest.check_raises "invalid"
+              (Invalid_argument "Sticky_automaton: TGDs must be constant-free")
+              (fun () -> ignore (Sticky_decider.decide with_const)));
+        Alcotest.test_case "the facade falls back to WA on constants" `Quick
+          (fun () ->
+            let with_const = parse "r(X,c) -> exists Z. r(X,Z)." in
+            let report = Decider.decide with_const in
+            Alcotest.(check bool) "did not use the sticky procedure" true
+              (report.Decider.method_used = Decider.Weak_acyclicity_check);
+            Alcotest.(check bool) "no crash, an answer or Unknown" true
+              (match report.Decider.answer with
+              | Decider.Terminating | Decider.Non_terminating | Decider.Unknown -> true));
       ] );
   ]
