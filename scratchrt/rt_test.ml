@@ -1,0 +1,7 @@
+let () =
+  let src = {|p("123foo").|} in
+  let p = Chase_parser.Parser.parse_program src in
+  let out = Chase_parser.Printer.print_program p in
+  print_string out;
+  (try ignore (Chase_parser.Parser.parse_program out); print_endline "ROUNDTRIP OK"
+   with e -> Printf.printf "ROUNDTRIP FAILED: %s\n" (Printexc.to_string e))
