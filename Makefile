@@ -23,6 +23,15 @@ CASES ?= 500
 fuzz:
 	dune exec bin/chasectl.exe -- fuzz --cases $(CASES) --seed 42 --jobs $(JOBS)
 
+# Golden-transcript conversation through `chasectl serve` over stdio
+# (docs/SERVICE.md).  wall_ms is the only nondeterministic reply field;
+# normalize it before diffing.
+serve-smoke:
+	dune build bin/chasectl.exe
+	./_build/default/bin/chasectl.exe serve < test/serve/script.jsonl \
+	  | sed -E 's/"wall_ms": *[0-9.eE+-]+/"wall_ms": 0/g' \
+	  | diff -u test/serve/golden.jsonl -
+
 examples:
 	dune exec examples/quickstart.exe
 	dune exec examples/data_exchange.exe
@@ -42,4 +51,4 @@ doc:
 clean:
 	dune clean
 
-.PHONY: all test bench bench-smoke fuzz examples gallery doc clean
+.PHONY: all test bench bench-smoke fuzz serve-smoke examples gallery doc clean

@@ -429,6 +429,79 @@ let fuzz_cmd =
       const run $ cases_arg $ seed_arg $ profile_arg $ jobs_arg $ no_shrink_arg $ corpus_arg
       $ json_arg $ stats_arg $ trace_json_arg)
 
+(* --- serve ----------------------------------------------------------- *)
+
+let serve_cmd =
+  let run socket tcp max_sessions max_steps max_facts max_wall_ms stats trace_json jobs =
+    let defaults =
+      {
+        Chase_serve.Session.max_steps;
+        max_facts;
+        max_wall_ms;
+      }
+    in
+    with_obs ~stats ~trace_json @@ fun () ->
+    with_jobs jobs @@ fun epool ->
+    let server = Chase_serve.Server.create ~epool { Chase_serve.Server.max_sessions; defaults } in
+    match (socket, tcp) with
+    | Some _, Some _ -> or_die (Error "serve: pass at most one of --socket and --tcp")
+    | Some path, None ->
+        Format.eprintf "chasectl serve: listening on unix socket %s@." path;
+        Chase_serve.Server.serve_unix server path
+    | None, Some port ->
+        Format.eprintf "chasectl serve: listening on 127.0.0.1:%d@." port;
+        Chase_serve.Server.serve_tcp server port
+    | None, None -> Chase_serve.Server.serve_stdio server
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv) instead of stdin/stdout.")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT" ~doc:"Listen on loopback TCP port $(docv).")
+  in
+  let max_sessions_arg =
+    Arg.(
+      value
+      & opt int Chase_serve.Server.default_config.Chase_serve.Server.max_sessions
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Admission control: refuse new sessions (error code $(b,busy)) beyond $(docv).")
+  in
+  let d = Chase_serve.Session.default_budgets in
+  let max_steps_arg =
+    Arg.(
+      value
+      & opt int d.Chase_serve.Session.max_steps
+      & info [ "max-steps" ] ~docv:"N" ~doc:"Default per-$(b,chase)-call step budget.")
+  in
+  let max_facts_arg =
+    Arg.(
+      value
+      & opt int d.Chase_serve.Session.max_facts
+      & info [ "max-facts" ] ~docv:"N" ~doc:"Default per-session instance-cardinality cap.")
+  in
+  let max_wall_ms_arg =
+    Arg.(
+      value
+      & opt float d.Chase_serve.Session.max_wall_ms
+      & info [ "max-wall-ms" ] ~docv:"MS"
+          ~doc:"Default per-$(b,chase)-call wall-clock budget in milliseconds.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived chase service: named sessions with incremental re-chase over a \
+          JSON-lines protocol (docs/SERVICE.md).")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ max_sessions_arg $ max_steps_arg $ max_facts_arg
+      $ max_wall_ms_arg $ stats_arg $ trace_json_arg $ jobs_arg)
+
 (* --- scenarios ------------------------------------------------------- *)
 
 let scenarios_cmd =
@@ -452,7 +525,7 @@ let main =
   Cmd.group info
     [
       classify_cmd; chase_cmd; decide_cmd; query_cmd; automaton_cmd; ochase_cmd;
-      extract_cmd; treeify_cmd; msol_cmd; fuzz_cmd; scenarios_cmd;
+      extract_cmd; treeify_cmd; msol_cmd; fuzz_cmd; serve_cmd; scenarios_cmd;
     ]
 
 let () = exit (Cmd.eval main)

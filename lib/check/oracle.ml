@@ -208,6 +208,57 @@ let check_ochase ~budgets tgds db =
           (Instance.cardinal (Real_oblivious.atom_set g))
           (Instance.cardinal obl.Oblivious.instance)
 
+(* Incremental maintenance (lib/engine/incremental.ml): replay the
+   database as a deterministic assert/chase interleaving — k batches,
+   a chase after each — and require the warm session's final instance
+   to be a model of the accumulated facts, hom-equivalent to the
+   from-scratch chase.  Skipped (not failed) when either side runs out
+   of budget.  The split is by atom index modulo k over the instance's
+   canonical atom order, so the interleaving is reproducible from the
+   case alone. *)
+let check_incremental ~pool ~budgets tgds db =
+  guarded "incremental" @@ fun () ->
+  let max_steps = budgets.restricted_steps in
+  let scratch =
+    Restricted.run ~strategy:Restricted.Fifo ~max_steps ~naming:`Canonical ~pool tgds db
+  in
+  if Derivation.status scratch <> Derivation.Terminated then []
+  else
+    let atoms = Instance.to_list db in
+    List.concat_map
+      (fun k ->
+        let batch i = List.filteri (fun j _ -> j mod k = i) atoms in
+        let s = Incremental.create ~strategy:Restricted.Fifo tgds Instance.empty in
+        let exhausted = ref false in
+        for i = 0 to k - 1 do
+          if not !exhausted then begin
+            ignore (Incremental.assert_atoms s (batch i));
+            let o = Incremental.chase ~epool:pool ~max_steps s in
+            if not o.Incremental.saturated then exhausted := true
+          end
+        done;
+        if !exhausted then []
+        else
+          let final = Incremental.instance s in
+          let model =
+            if Model_check.is_model ~database:db ~tgds final then []
+            else
+              fail "incremental-equivalence"
+                "interleaving k=%d: warm session result is not a model of the accumulated facts"
+                k
+          in
+          let equiv =
+            if Model_check.hom_equivalent final (Derivation.final scratch) then []
+            else
+              fail "incremental-equivalence"
+                "interleaving k=%d: warm session result (%d atoms) is not hom-equivalent to \
+                 the from-scratch chase (%d atoms)"
+                k (Instance.cardinal final)
+                (Instance.cardinal (Derivation.final scratch))
+          in
+          model @ equiv)
+      [ 2; 3 ]
+
 let check_decider ~pool ~budgets tgds db =
   match Chase_termination.Decider.decide ~pool tgds with
   | exception e -> fail "decider-crash" "Decider.decide raised %s" (Printexc.to_string e)
@@ -248,4 +299,5 @@ let check ?(pool = Chase_exec.Pool.inline) ?(budgets = default_budgets) tgds db 
   @ check_oblivious ~budgets tgds db
   @ check_universality ~budgets tgds db
   @ check_ochase ~budgets tgds db
+  @ check_incremental ~pool ~budgets tgds db
   @ check_decider ~pool ~budgets tgds db

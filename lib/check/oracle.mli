@@ -23,6 +23,12 @@
       universal models).
     - [ochase-atoms] — a complete ochase's atom set equals the
       saturated (set-based) oblivious chase (Def 3.3 vs §3.1).
+    - [incremental-equivalence] — the assert/chase interleaving
+      profile: feeding the database to a resumable session
+      ([Incremental]) in k batches with a chase after each must land
+      on a model of the accumulated facts that is hom-equivalent to
+      the from-scratch chase (both are universal models of the same
+      database).
     - [decider-crash] — [Decider.decide] must not raise.
     - [decider-wa] — weak acyclicity refutes a [Non_terminating] answer.
     - [decider-termination] — a [Terminating] answer contradicted by

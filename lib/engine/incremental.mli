@@ -1,0 +1,104 @@
+(** A resumable restricted-chase state: incremental maintenance for
+    long-lived sessions (`chasectl serve`).
+
+    A value of type {!t} owns everything [Restricted.run] keeps on its
+    stack — mutable instance, compiled plans, head-satisfaction memo,
+    and the pending-trigger frontier — so a chase can stop (budget) and
+    resume, and new facts can arrive {e after} a chase saturated
+    without re-chasing from scratch: {!assert_atoms} seeds only the
+    delta, via the same [plan.delta.seed] machinery the engines use
+    per produced atom.
+
+    {b Soundness.}  Instances only grow under assert/chase, so trigger
+    activity is monotone downwards: candidates found inactive before an
+    assert stay inactive, and every trigger that the grown instance
+    admits but the old one did not must match at least one new atom —
+    which is exactly what the delta seeding enumerates.  Nulls are
+    canonical (Def 3.1), so a resumed run re-derives identical atoms
+    rather than fresh copies.  A saturated session is therefore a
+    restricted-chase result of (accumulated facts, T): a model, and
+    universal for the accumulated database — hom-equivalent to any
+    from-scratch chase of the same facts.  This equivalence is fuzzed
+    by the [lib/check] oracle's [incremental-equivalence] profile,
+    which replays randomized assert/chase interleavings against
+    [Restricted.run].
+
+    {b Retraction} is not monotone; {!retract_atoms} rebuilds the state
+    from the surviving base facts and the next {!chase} is a full
+    re-chase ({!warm} drops to [false]). *)
+
+open Chase_core
+
+(** Which budget stopped a chase call, when it did not saturate. *)
+type limit = Steps | Wall | Facts
+
+(** Stable lowercase name (["steps"], ["wall"], ["facts"]) — the value
+    used on the wire by [chasectl serve]. *)
+val limit_name : limit -> string
+
+type outcome = {
+  steps : int;  (** trigger applications performed by this call *)
+  saturated : bool;  (** no active trigger remains *)
+  incremental : bool;
+      (** this call resumed a state some earlier call had saturated —
+          i.e. it was a delta re-chase, not a cold or rebuilt run *)
+  limit : limit option;  (** the budget that stopped it, if unsaturated *)
+}
+
+type t
+
+(** A fresh state over the TGD set and initial database; the frontier
+    is seeded with every trigger of the database. *)
+val create : ?strategy:Restricted.strategy -> Tgd.t list -> Instance.t -> t
+
+val tgds : t -> Tgd.t list
+
+(** The accumulated asserted facts (load-time database plus asserts,
+    minus retracts) — what a from-scratch chase would start from. *)
+val base : t -> Instance.t
+
+(** Persistent snapshot of the current (possibly partial) chase
+    result. *)
+val instance : t -> Instance.t
+
+val cardinal : t -> int
+
+(** Pending candidate triggers in the frontier. *)
+val pending : t -> int
+
+val saturated : t -> bool
+
+(** True once some chase call saturated this state and no rebuild
+    happened since — the next chase will be incremental. *)
+val warm : t -> bool
+
+val steps_total : t -> int
+val chases : t -> int
+val rebuilds : t -> int
+
+(** [assert_atoms t atoms] adds facts, seeding delta triggers for each
+    genuinely new atom; returns the number actually added.  Clears
+    {!saturated} when anything was added. *)
+val assert_atoms : t -> Atom.t list -> int
+
+(** [retract_atoms t atoms] removes the given facts from the base (the
+    intersection; returns its size).  When nonempty, the state is
+    rebuilt from the surviving base and the next chase is a full
+    re-chase. *)
+val retract_atoms : t -> Atom.t list -> int
+
+val default_max_steps : int
+
+(** Run the chase until saturation or a budget: [max_steps] per call,
+    [deadline] (polled every 32 steps — wall-time admission control),
+    [max_facts] a cap on the instance cardinality.  [epool]
+    parallelizes the activity scan exactly as in [Restricted.run].
+    Resumable: a budget-stopped state continues where it left off on
+    the next call. *)
+val chase :
+  ?epool:Chase_exec.Pool.t ->
+  ?max_steps:int ->
+  ?deadline:(unit -> bool) ->
+  ?max_facts:int ->
+  t ->
+  outcome

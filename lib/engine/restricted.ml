@@ -133,6 +133,101 @@ end
 
 let default_max_steps = 10_000
 
+(* [make_next_active ~epool ~plan_of ~src ~memo pool] is the activity
+   scan shared by [run_compiled] and the resumable {!Incremental}
+   state: repeated calls pop candidates until the first active one
+   (None = pool drained).  Sequentially that is one pop + memoized
+   activity test per iteration.  With a parallel [epool], a speculative
+   window of the upcoming pops ([Pool.peek_order]) is tested at once
+   against the frozen instance and the first active one {e in pop
+   order} wins; the window's real pops are then replayed so the pool
+   and RNG state match the sequential engine exactly.  The speculative
+   verdicts are final — activity is monotone downwards and the instance
+   does not grow during a scan — so the pop sequence is bit-identical
+   to sequential, and verdicts beyond the winner are folded into the
+   head memo rather than wasted.  The widening window is per-closure
+   state: create one scanner per run (or per resumed chase call). *)
+let make_next_active ~epool ~plan_of ~src ~memo pool =
+  let is_active trigger =
+    Plan.Head_memo.is_active memo (plan_of (Trigger.tgd trigger)) src (Trigger.hom trigger)
+  in
+  let next_active_seq () =
+    let rec go () =
+      match Pool.pop pool with
+      | None -> None
+      | Some trigger ->
+          if is_active trigger then Some trigger
+          else begin
+            Obs.incr "restricted.inactive";
+            go ()
+          end
+    in
+    go ()
+  in
+  if not (Exec.is_parallel epool) then next_active_seq
+  else begin
+    let base_window = 2 * Exec.jobs epool in
+    let window = ref base_window in
+    let head_satisfied t =
+      Plan.head_satisfied (plan_of (Trigger.tgd t)) src (Trigger.hom t)
+    in
+    let rec go () =
+      if Pool.size pool = 0 then None
+      else begin
+        let cands = Pool.peek_order pool !window in
+        let k = Array.length cands in
+        let active = Array.make k false in
+        (* coordinator-side memo pass: only unknown triggers fan out *)
+        let unknown = ref [] in
+        Array.iteri
+          (fun i t ->
+            if
+              not
+                (Plan.Head_memo.known_inactive memo
+                   (plan_of (Trigger.tgd t))
+                   (Trigger.hom t))
+            then unknown := i :: !unknown)
+          cands;
+        let unknown = Array.of_list (List.rev !unknown) in
+        let satisfied = Exec.map_array epool (fun i -> head_satisfied cands.(i)) unknown in
+        Array.iteri
+          (fun j i ->
+            if satisfied.(j) then
+              let t = cands.(i) in
+              Plan.Head_memo.record memo (plan_of (Trigger.tgd t)) (Trigger.hom t)
+            else active.(i) <- true)
+          unknown;
+        let first = ref (-1) in
+        (try
+           for i = 0 to k - 1 do
+             if active.(i) then begin
+               first := i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !first < 0 then begin
+          (* whole window inactive: consume it, widen, rescan *)
+          for _ = 1 to k do
+            ignore (Pool.pop pool);
+            Obs.incr "restricted.inactive"
+          done;
+          window := min 4096 (2 * !window);
+          go ()
+        end
+        else begin
+          for _ = 1 to !first do
+            ignore (Pool.pop pool);
+            Obs.incr "restricted.inactive"
+          done;
+          window := base_window;
+          Pool.pop pool
+        end
+      end
+    in
+    go
+  end
+
 (* Observability hooks, shared by both backends (all no-ops unless a
    sink is installed; the step-event payload is only built when one is). *)
 let obs_run_start ~backend ~strategy ~max_steps database =
@@ -261,95 +356,7 @@ let run_compiled ~strategy ~max_steps ~gen ~epool tgds database =
     (fun (tgd, p) -> Plan.iter_homs p src (fun hom -> seed := Trigger.make tgd hom :: !seed))
     plans;
   Pool.push_batch pool !seed;
-  (* [next_active ()] pops candidates until the first active one (None =
-     pool drained).  Sequentially that is one pop + activity test per
-     iteration.  With a parallel pool, a speculative window of the
-     upcoming pops ([Pool.peek_order]) is tested at once against the
-     frozen instance and the first active one {e in pop order} wins;
-     the window's real pops are then replayed so the pool and RNG state
-     match the sequential engine exactly.  The speculative verdicts are
-     final — activity is monotone downwards and the instance does not
-     grow during a scan — so the derivation is bit-identical to
-     sequential, and verdicts beyond the winner are folded into the
-     head memo rather than wasted. *)
-  let next_active_seq () =
-    let rec go () =
-      match Pool.pop pool with
-      | None -> None
-      | Some trigger ->
-          if is_active trigger then Some trigger
-          else begin
-            Obs.incr "restricted.inactive";
-            go ()
-          end
-    in
-    go ()
-  in
-  let next_active =
-    if not (Exec.is_parallel epool) then next_active_seq
-    else begin
-      let base_window = 2 * Exec.jobs epool in
-      let window = ref base_window in
-      let head_satisfied t =
-        Plan.head_satisfied (plan_of (Trigger.tgd t)) src (Trigger.hom t)
-      in
-      let rec go () =
-        if Pool.size pool = 0 then None
-        else begin
-          let cands = Pool.peek_order pool !window in
-          let k = Array.length cands in
-          let active = Array.make k false in
-          (* coordinator-side memo pass: only unknown triggers fan out *)
-          let unknown = ref [] in
-          Array.iteri
-            (fun i t ->
-              if
-                not
-                  (Plan.Head_memo.known_inactive memo
-                     (plan_of (Trigger.tgd t))
-                     (Trigger.hom t))
-              then unknown := i :: !unknown)
-            cands;
-          let unknown = Array.of_list (List.rev !unknown) in
-          let satisfied = Exec.map_array epool (fun i -> head_satisfied cands.(i)) unknown in
-          Array.iteri
-            (fun j i ->
-              if satisfied.(j) then
-                let t = cands.(i) in
-                Plan.Head_memo.record memo (plan_of (Trigger.tgd t)) (Trigger.hom t)
-              else active.(i) <- true)
-            unknown;
-          let first = ref (-1) in
-          (try
-             for i = 0 to k - 1 do
-               if active.(i) then begin
-                 first := i;
-                 raise Exit
-               end
-             done
-           with Exit -> ());
-          if !first < 0 then begin
-            (* whole window inactive: consume it, widen, rescan *)
-            for _ = 1 to k do
-              ignore (Pool.pop pool);
-              Obs.incr "restricted.inactive"
-            done;
-            window := min 4096 (2 * !window);
-            go ()
-          end
-          else begin
-            for _ = 1 to !first do
-              ignore (Pool.pop pool);
-              Obs.incr "restricted.inactive"
-            done;
-            window := base_window;
-            Pool.pop pool
-          end
-        end
-      in
-      go
-    end
-  in
+  let next_active = make_next_active ~epool ~plan_of ~src ~memo pool in
   let rec loop prev steps_rev n =
     if n >= max_steps then begin
       let status = drain_status pool is_active in

@@ -54,6 +54,7 @@ let set_current s = Domain.DLS.set current s
 let install s = set_current (Some s)
 let uninstall () = set_current None
 let enabled () = get_current () <> None
+let current_sink () = get_current ()
 
 let with_current saved f =
   let prev = get_current () in

@@ -63,6 +63,12 @@ val uninstall : unit -> unit
     building expensive event payloads when nobody is listening. *)
 val enabled : unit -> bool
 
+(** The calling domain's current sink, if any.  Lets a component compose
+    its own sink with whatever is already installed ([tee]) instead of
+    replacing it — the serve layer tees per-session stats sinks with the
+    process-wide [--stats]/[--trace-json] sink this way. *)
+val current_sink : unit -> sink option
+
 (** [with_sink s f] runs [f] with [s] installed, restoring the previous
     sink afterwards (also on exceptions). *)
 val with_sink : sink -> (unit -> 'a) -> 'a

@@ -1,0 +1,42 @@
+(** The [chasectl serve] request loop: a registry of named {!Session}s
+    driven by the JSON-lines protocol of docs/SERVICE.md.  One request
+    per input line, exactly one reply line per request; malformed input
+    and failing programs produce structured error replies, never a dead
+    server. *)
+
+type config = {
+  max_sessions : int;  (** admission control: [busy] beyond this *)
+  defaults : Session.budgets;  (** for sessions without overrides *)
+}
+
+val default_config : config
+
+type t
+
+(** [create ?epool config] builds an empty server.  All chase work runs
+    on [epool] (default: inline). *)
+val create : ?epool:Chase_exec.Pool.t -> config -> t
+
+val session_count : t -> int
+
+(** Handle one request line, returning the reply as a JSON value.
+    Total: every exception becomes an error reply. *)
+val dispatch : t -> string -> Json.t
+
+(** {!dispatch} rendered as one line (no trailing newline). *)
+val dispatch_line : t -> string -> string
+
+(** Read request lines from [ic] until EOF, writing one reply line per
+    request to [oc] (blank lines are skipped, replies flushed). *)
+val serve_channels : t -> in_channel -> out_channel -> unit
+
+(** Serve stdin/stdout — the [chasectl serve] default transport. *)
+val serve_stdio : t -> unit
+
+(** Bind a Unix-domain socket at [path] (unlinking any stale one) and
+    serve connections sequentially, forever.  Sessions survive across
+    connections. *)
+val serve_unix : t -> string -> 'a
+
+(** Same over loopback TCP. *)
+val serve_tcp : t -> int -> 'a
