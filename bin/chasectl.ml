@@ -445,9 +445,10 @@ let serve_cmd =
     let server = Chase_serve.Server.create ~epool { Chase_serve.Server.max_sessions; defaults } in
     match (socket, tcp) with
     | Some _, Some _ -> or_die (Error "serve: pass at most one of --socket and --tcp")
-    | Some path, None ->
+    | Some path, None -> (
         Format.eprintf "chasectl serve: listening on unix socket %s@." path;
-        Chase_serve.Server.serve_unix server path
+        try Chase_serve.Server.serve_unix server path
+        with Failure msg -> or_die (Error (Printf.sprintf "serve: %s" msg)))
     | None, Some port ->
         Format.eprintf "chasectl serve: listening on 127.0.0.1:%d@." port;
         Chase_serve.Server.serve_tcp server port

@@ -85,10 +85,17 @@ let parse_string st =
             | 'u' ->
                 if st.pos + 4 > String.length st.src then error st "truncated \\u escape";
                 let hex = String.sub st.src st.pos 4 in
+                (* int_of_string would also accept OCaml literal syntax
+                   (underscores, a second 0x) — require 4 hex digits. *)
+                let digit c =
+                  match c with
+                  | '0' .. '9' -> Char.code c - Char.code '0'
+                  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+                  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+                  | _ -> error st (Printf.sprintf "invalid \\u escape %S" hex)
+                in
                 let code =
-                  match int_of_string_opt ("0x" ^ hex) with
-                  | Some c -> c
-                  | None -> error st (Printf.sprintf "invalid \\u escape %S" hex)
+                  String.fold_left (fun acc c -> (acc * 16) + digit c) 0 hex
                 in
                 for _ = 1 to 4 do
                   advance st

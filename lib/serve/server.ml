@@ -130,10 +130,19 @@ let handle_assert t ~session ~facts =
   let atoms = parse_facts_payload "facts" facts in
   let inc = Session.incremental s in
   let cap = (Session.budgets s).Session.max_facts in
-  if Chase_engine.Incremental.cardinal inc + List.length atoms > cap then
+  (* Count only atoms the instance doesn't already hold (deduplicated),
+     so an idempotent re-assert near — or past, since a chase step can
+     overshoot the cap by its last atom — the cap isn't spuriously
+     refused: adding nothing is always admissible. *)
+  let snapshot = Chase_engine.Incremental.instance inc in
+  let fresh =
+    List.filter (fun a -> not (Instance.mem a snapshot)) atoms
+    |> List.sort_uniq Atom.compare
+  in
+  if fresh <> [] && Chase_engine.Incremental.cardinal inc + List.length fresh > cap then
     fail P.Budget_exhausted
-      "asserting %d facts would push the instance over max_facts %d (currently %d atoms)"
-      (List.length atoms) cap
+      "asserting %d new facts would push the instance over max_facts %d (currently %d atoms)"
+      (List.length fresh) cap
       (Chase_engine.Incremental.cardinal inc);
   let added = Session.assert_atoms s atoms in
   [
@@ -331,21 +340,38 @@ let serve_stdio t = serve_channels t In_channel.stdin Out_channel.stdout
 
 (* One connection at a time: requests from a second client queue in the
    listen backlog until the first disconnects.  Sessions survive across
-   connections — the registry belongs to the server, not the socket. *)
+   connections — the registry belongs to the server, not the socket.
+
+   SIGPIPE must be ignored: a client that disconnects before reading
+   its replies turns the next write into EPIPE, which with the default
+   disposition kills the whole process (every session lost).  Ignored,
+   the write raises [Sys_error]/[Unix_error] instead, which the
+   per-connection catch below absorbs. *)
 let serve_socket t sock =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   Unix.listen sock 16;
   let rec accept_loop () =
     let client, _ = Unix.accept sock in
     let ic = Unix.in_channel_of_descr client in
     let oc = Unix.out_channel_of_descr client in
-    (try serve_channels t ic oc with End_of_file | Sys_error _ -> ());
+    (try serve_channels t ic oc
+     with End_of_file | Sys_error _ | Unix.Unix_error (_, _, _) -> ());
     (try Unix.close client with Unix.Unix_error _ -> ());
     accept_loop ()
   in
   accept_loop ()
 
+(* Only remove a leftover socket from a previous run — anything else at
+   the path (a regular file, a directory) is the user's data and gets a
+   clear error instead of a silent unlink. *)
+let remove_stale_socket path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> failwith (Printf.sprintf "refusing to bind %S: path exists and is not a socket" path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
 let serve_unix t path =
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  remove_stale_socket path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())

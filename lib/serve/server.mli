@@ -33,9 +33,15 @@ val serve_channels : t -> in_channel -> out_channel -> unit
 (** Serve stdin/stdout — the [chasectl serve] default transport. *)
 val serve_stdio : t -> unit
 
-(** Bind a Unix-domain socket at [path] (unlinking any stale one) and
-    serve connections sequentially, forever.  Sessions survive across
-    connections. *)
+(** Unlink [path] if it is a leftover socket; no-op when nothing is
+    there.  Raises [Failure] when the path holds anything else (a
+    regular file, a directory) rather than silently deleting it. *)
+val remove_stale_socket : string -> unit
+
+(** Bind a Unix-domain socket at [path] (via {!remove_stale_socket})
+    and serve connections sequentially, forever, with SIGPIPE ignored
+    so a client vanishing mid-reply cannot kill the server.  Sessions
+    survive across connections. *)
 val serve_unix : t -> string -> 'a
 
 (** Same over loopback TCP. *)

@@ -89,6 +89,17 @@ let test_json_errors () =
   (match Json.parse {|{"a": 1} trailing|} with
   | _ -> Alcotest.fail "trailing input should fail"
   | exception Json.Error _ -> ());
+  (* \u escapes must be exactly 4 hex digits — OCaml literal syntax
+     like underscores must not slip through int_of_string. *)
+  (match Json.parse {|"\u0041"|} with
+  | Json.Str s -> Alcotest.(check string) "valid \\u escape" "A" s
+  | _ -> Alcotest.fail "\\u0041 should parse to a string");
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | _ -> Alcotest.failf "%s should fail" bad
+      | exception Json.Error _ -> ())
+    [ {|"\u1_23"|}; {|"\u0x12"|}; {|"\u 123"|}; {|"\uGGGG"|} ];
   Alcotest.(check string) "non-finite floats render null" "null" (Json.to_string (Json.Float nan))
 
 (* --- protocol decoding ------------------------------------------------ *)
@@ -191,6 +202,11 @@ let test_fact_budget () =
   check_error "budget-exhausted"
     (op ~extra:[ ("facts", Json.Str "r(b). r(c). r(d). r(e). r(f). r(g). r(h). r(i). r(j).") ]
        srv "assert");
+  (* But an idempotent re-assert at the cap adds 0 new atoms and must
+     not be refused — the pre-check counts only genuinely new facts. *)
+  let r = op ~extra:[ ("facts", Json.Str "r(a). r(a).") ] srv "assert" in
+  check_ok r;
+  Alcotest.(check int) "re-assert adds nothing" 0 (get_int r [ "added" ]);
   (* Loading a database larger than the cap is refused too. *)
   let srv2 = server ~defaults:{ Session.default_budgets with Session.max_facts = 1 } () in
   check_error "budget-exhausted" (load srv2 "e(a,b). e(b,c).")
@@ -290,6 +306,25 @@ let test_id_echo () =
   let r = ask srv {|{"id": 42, "op": "stats", "session": "s"}|} in
   Alcotest.(check int) "id echoed on success" 42 (get_int r [ "id" ])
 
+(* --- transport hygiene ------------------------------------------------ *)
+
+let test_stale_socket_guard () =
+  (* A regular file at the socket path is user data: refuse, keep it. *)
+  let file = Filename.temp_file "serve_guard" ".txt" in
+  (match Server.remove_stale_socket file with
+  | () -> Alcotest.fail "regular file should be refused"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "file survives" true (Sys.file_exists file);
+  Sys.remove file;
+  (* Nothing at the path: a no-op. *)
+  Server.remove_stale_socket file;
+  (* An actual leftover socket is unlinked. *)
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX file);
+  Unix.close sock;
+  Server.remove_stale_socket file;
+  Alcotest.(check bool) "stale socket removed" false (Sys.file_exists file)
+
 (* --- documentation ---------------------------------------------------- *)
 
 (* docs/SERVICE.md must document every request op and every error code;
@@ -380,6 +415,8 @@ let suite =
         Alcotest.test_case "malformed input never kills the server" `Quick test_malformed_input;
         Alcotest.test_case "query needs saturation, filters nulls" `Quick test_query_contract;
         Alcotest.test_case "request ids echo into replies" `Quick test_id_echo;
+        Alcotest.test_case "stale-socket unlink refuses non-sockets" `Quick
+          test_stale_socket_guard;
         Alcotest.test_case "SERVICE.md covers every op and error code" `Quick
           test_service_doc_complete;
         incremental_equivalence;
