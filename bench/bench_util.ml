@@ -35,6 +35,35 @@ let once_ns fn =
   let t1 = Unix.gettimeofday () in
   (t1 -. t0) *. 1e9
 
+(* GC deltas around a closure: allocation pressure (minor + promoted
+   words) and full collections.  Words, not bytes — multiply by the word
+   size to compare against RSS. *)
+type gc_delta = {
+  minor_words : float;
+  promoted_words : float;
+  major_collections : int;
+}
+
+let with_gc_delta f =
+  let g0 = Gc.quick_stat () in
+  let r = f () in
+  let g1 = Gc.quick_stat () in
+  ( r,
+    {
+      minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+      promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+      major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+    } )
+
+(* [once_ns] that also hands back the run's result and GC delta — for
+   one-shot A/B rows where the allocation multiple is the headline. *)
+let once_gc fn =
+  Obs.suspended @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let r, gc = with_gc_delta fn in
+  let t1 = Unix.gettimeofday () in
+  (r, (t1 -. t0) *. 1e9, gc)
+
 (* Minimal fixed-width table printer. *)
 let table ~title ~header rows =
   let ncols = List.length header in
@@ -79,6 +108,14 @@ type json_value =
 let json_rows : (string * (string * json_value) list) list ref = ref []
 
 let record experiment fields = json_rows := (experiment, fields) :: !json_rows
+
+(* A gc_delta as JSON fields, for splicing into a [record] row. *)
+let gc_fields d =
+  [
+    ("minor_words", Num d.minor_words);
+    ("promoted_words", Num d.promoted_words);
+    ("major_collections", Int d.major_collections);
+  ]
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in

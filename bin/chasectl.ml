@@ -76,6 +76,40 @@ let with_obs ~stats ~trace_json f =
           Option.iter (fun t -> Format.eprintf "%a@." Obs.Stats.pp t) stats_t)
         (fun () -> Obs.with_sink (List.fold_left Obs.tee first rest) f)
 
+(* --- backends --------------------------------------------------------- *)
+
+(* One parser for every --backend flag (chase, fuzz, serve), built on
+   Chase_engine.Backend.of_name so all surfaces reject unknown names
+   with the same message; cmdliner attributes it to the offending
+   option.  [store_backend_conv] is the restriction to store-backed
+   backends for surfaces that cannot run naive (serve, fuzz). *)
+let backend_conv : Chase_engine.Backend.t Arg.conv =
+  let parse s =
+    match Chase_engine.Backend.of_name s with Ok b -> Ok b | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf b -> Format.pp_print_string ppf (Chase_engine.Backend.name b))
+
+let store_backend_conv : Chase_engine.Store.backend Arg.conv =
+  let parse s =
+    match Chase_engine.Store.backend_of_name s with
+    | Ok b -> Ok b
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    ( parse,
+      fun ppf b ->
+        Format.pp_print_string ppf (Chase_engine.Backend.name (b :> Chase_engine.Backend.t)) )
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv `Compiled
+    & info [ "backend" ] ~docv:"B"
+        ~doc:
+          "Matching backend: $(b,compiled) (hash-indexed, default), $(b,columnar) (interned \
+           int columns, for large databases) or $(b,naive) (generic search, the oracle).  \
+           All three produce bit-identical derivations.")
+
 (* --- parallelism ------------------------------------------------------ *)
 
 let jobs_arg =
@@ -124,7 +158,7 @@ let max_steps_arg =
 let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Print the derivation trace.")
 
 let chase_cmd =
-  let run file engine strategy seed max_steps trace stats trace_json jobs =
+  let run file engine backend strategy seed max_steps trace stats trace_json jobs =
     let p = or_die (load file) in
     let tgds = Chase_parser.Program.tgds p in
     let db = Chase_parser.Program.database p in
@@ -138,7 +172,7 @@ let chase_cmd =
           | `Lifo -> Chase_engine.Restricted.Lifo
           | `Random -> Chase_engine.Restricted.Random seed
         in
-        let d = Chase_engine.Restricted.run ~strategy ~max_steps ~pool tgds db in
+        let d = Chase_engine.Restricted.run ~backend ~strategy ~max_steps ~pool tgds db in
         if trace then Format.printf "%a@." Chase_engine.Derivation.pp d
         else begin
           Format.printf "%a@." Chase_core.Instance.pp (Chase_engine.Derivation.final d);
@@ -154,15 +188,15 @@ let chase_cmd =
           | `Oblivious -> Chase_engine.Oblivious.Oblivious
           | `Semi -> Chase_engine.Oblivious.Semi_oblivious
         in
-        let r = Chase_engine.Oblivious.run ~variant ~max_steps tgds db in
+        let r = Chase_engine.Oblivious.run ~backend ~variant ~max_steps tgds db in
         Format.printf "%a@." Chase_core.Instance.pp r.Chase_engine.Oblivious.instance;
         Format.printf "applications: %d, saturated: %b@." r.Chase_engine.Oblivious.applications
           r.Chase_engine.Oblivious.saturated
   in
   Cmd.v (Cmd.info "chase" ~doc:"Run a chase engine on the program's database.")
     Term.(
-      const run $ file_arg $ engine_arg $ strategy_arg $ seed_arg $ max_steps_arg $ trace_arg
-      $ stats_arg $ trace_json_arg $ jobs_arg)
+      const run $ file_arg $ engine_arg $ backend_arg $ strategy_arg $ seed_arg $ max_steps_arg
+      $ trace_arg $ stats_arg $ trace_json_arg $ jobs_arg)
 
 (* --- decide ---------------------------------------------------------- *)
 
@@ -354,12 +388,15 @@ let msol_cmd =
 (* --- fuzz ------------------------------------------------------------ *)
 
 let fuzz_cmd =
-  let run cases seed profiles jobs no_shrink corpus_dir json stats trace_json =
+  let run cases seed profiles backends jobs no_shrink corpus_dir json stats trace_json =
     let profiles =
       match profiles with
       | [] -> Chase_check.Profile.all
       | names ->
           List.map (fun n -> or_die (Chase_check.Profile.of_name n)) names
+    in
+    let backends =
+      match backends with [] -> Chase_check.Oracle.all_store_backends | bs -> bs
     in
     let config =
       {
@@ -369,6 +406,7 @@ let fuzz_cmd =
         jobs;
         shrink = not no_shrink;
         corpus_dir;
+        backends;
       }
     in
     let report =
@@ -408,6 +446,15 @@ let fuzz_cmd =
             (Printf.sprintf "Fuzzing profile, repeatable (default: all of %s)."
                (String.concat ", " Chase_check.Profile.names)))
   in
+  let fuzz_backend_arg =
+    Arg.(
+      value
+      & opt_all store_backend_conv []
+      & info [ "backend" ] ~docv:"B"
+          ~doc:
+            "Store backend to compare against the naive reference, repeatable: $(b,compiled) \
+             or $(b,columnar) (default: both).")
+  in
   let no_shrink_arg =
     Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report raw failing cases without delta-debugging.")
   in
@@ -426,13 +473,14 @@ let fuzz_cmd =
           cross-engine invariants; failures are delta-debugged to minimal repros (exit 1 on \
           any discrepancy).")
     Term.(
-      const run $ cases_arg $ seed_arg $ profile_arg $ jobs_arg $ no_shrink_arg $ corpus_arg
-      $ json_arg $ stats_arg $ trace_json_arg)
+      const run $ cases_arg $ seed_arg $ profile_arg $ fuzz_backend_arg $ jobs_arg
+      $ no_shrink_arg $ corpus_arg $ json_arg $ stats_arg $ trace_json_arg)
 
 (* --- serve ----------------------------------------------------------- *)
 
 let serve_cmd =
-  let run socket tcp max_sessions max_steps max_facts max_wall_ms stats trace_json jobs =
+  let run socket tcp max_sessions max_steps max_facts max_wall_ms backend stats trace_json jobs
+      =
     let defaults =
       {
         Chase_serve.Session.max_steps;
@@ -442,7 +490,9 @@ let serve_cmd =
     in
     with_obs ~stats ~trace_json @@ fun () ->
     with_jobs jobs @@ fun epool ->
-    let server = Chase_serve.Server.create ~epool { Chase_serve.Server.max_sessions; defaults } in
+    let server =
+      Chase_serve.Server.create ~epool { Chase_serve.Server.max_sessions; defaults; backend }
+    in
     match (socket, tcp) with
     | Some _, Some _ -> or_die (Error "serve: pass at most one of --socket and --tcp")
     | Some path, None -> (
@@ -494,6 +544,15 @@ let serve_cmd =
       & info [ "max-wall-ms" ] ~docv:"MS"
           ~doc:"Default per-$(b,chase)-call wall-clock budget in milliseconds.")
   in
+  let serve_backend_arg =
+    Arg.(
+      value
+      & opt store_backend_conv `Compiled
+      & info [ "backend" ] ~docv:"B"
+          ~doc:
+            "Default store backend for new sessions: $(b,compiled) or $(b,columnar).  A \
+             $(b,load-program) request may override it per session with a \"backend\" field.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -501,7 +560,7 @@ let serve_cmd =
           JSON-lines protocol (docs/SERVICE.md).")
     Term.(
       const run $ socket_arg $ tcp_arg $ max_sessions_arg $ max_steps_arg $ max_facts_arg
-      $ max_wall_ms_arg $ stats_arg $ trace_json_arg $ jobs_arg)
+      $ max_wall_ms_arg $ serve_backend_arg $ stats_arg $ trace_json_arg $ jobs_arg)
 
 (* --- scenarios ------------------------------------------------------- *)
 

@@ -14,10 +14,19 @@ type config = {
   jobs : int;
   shrink : bool;
   corpus_dir : string option;
+  backends : Chase_engine.Store.backend list;
 }
 
 let default_config =
-  { cases = 200; seed = 42; profiles = Profile.all; jobs = 1; shrink = true; corpus_dir = None }
+  {
+    cases = 200;
+    seed = 42;
+    profiles = Profile.all;
+    jobs = 1;
+    shrink = true;
+    corpus_dir = None;
+    backends = Oracle.all_store_backends;
+  }
 
 type failure = {
   case_seed : int;
@@ -57,7 +66,7 @@ let run_case ~pool ~config ~index profile =
           written = None;
         }
   | case -> (
-      match Oracle.check ~pool case.Gen.tgds case.Gen.database with
+      match Oracle.check ~pool ~backends:config.backends case.Gen.tgds case.Gen.database with
       | [] -> None
       | discrepancies ->
           Obs.count "check.discrepancies" (List.length discrepancies);
@@ -70,7 +79,7 @@ let run_case ~pool ~config ~index profile =
             else
               Shrink.minimize
                 ~fails:(fun ts db ->
-                  match Oracle.check ~pool ts db with
+                  match Oracle.check ~pool ~backends:config.backends ts db with
                   | ds -> List.exists (fun d -> List.mem d.Oracle.invariant invariants) ds
                   | exception _ -> false)
                 case.Gen.tgds case.Gen.database
@@ -131,6 +140,15 @@ let json r =
        r.config.seed r.config.jobs
        (String.concat ", "
           (List.map (fun p -> "\"" ^ esc (Profile.name p) ^ "\"") r.config.profiles)));
+  Buffer.add_string buf
+    (Printf.sprintf "\"backends\": [%s], "
+       (String.concat ", "
+          (List.map
+             (fun b ->
+               "\""
+               ^ esc (Chase_engine.Restricted.backend_name (b :> Chase_engine.Restricted.backend))
+               ^ "\"")
+             r.config.backends)));
   Buffer.add_string buf
     (Printf.sprintf "\"discrepancies\": %d, \"failures\": ["
        (List.fold_left (fun acc f -> acc + List.length f.discrepancies) 0 r.failures));

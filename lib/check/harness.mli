@@ -15,6 +15,9 @@ type config = {
   jobs : int;  (** pool size when [run] creates its own pool *)
   shrink : bool;
   corpus_dir : string option;  (** write shrunk repros here *)
+  backends : Chase_engine.Store.backend list;
+      (** store backends the oracle compares against the naive
+          reference (default: all — compiled and columnar) *)
 }
 
 val default_config : config

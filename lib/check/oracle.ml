@@ -99,7 +99,7 @@ let check_stop_relation ~what tgds d =
         end)
       (List.mapi (fun k s -> (k, s)) steps)
 
-let check_restricted ~pool ~budgets tgds db =
+let check_restricted ~pool ~budgets ~backends tgds db =
   let max_steps = budgets.restricted_steps in
   List.concat_map
     (fun strategy ->
@@ -109,24 +109,34 @@ let check_restricted ~pool ~budgets tgds db =
         Restricted.run ~backend ~strategy ~max_steps ~naming:`Canonical tgds db
       in
       let d_naive = run `Naive in
-      let d_comp = run `Compiled in
-      let backends =
-        compare_derivations ~invariant:"backend-agreement"
-          ~what:(Printf.sprintf "restricted/%s naive-vs-compiled" sname)
-          d_naive d_comp
+      let store_runs =
+        List.map (fun b -> ((b :> Restricted.backend), run (b :> Restricted.backend))) backends
+      in
+      let agree =
+        List.concat_map
+          (fun (backend, d) ->
+            compare_derivations ~invariant:"backend-agreement"
+              ~what:
+                (Printf.sprintf "restricted/%s naive-vs-%s" sname
+                   (Restricted.backend_name backend))
+              d_naive d)
+          store_runs
       in
       let jobs =
         if not (Chase_exec.Pool.is_parallel pool) then []
         else
-          let d_par =
-            Restricted.run ~backend:`Compiled ~strategy ~max_steps ~naming:`Canonical ~pool
-              tgds db
-          in
-          compare_derivations ~invariant:"jobs-agreement"
-            ~what:
-              (Printf.sprintf "restricted/%s jobs=1-vs-jobs=%d" sname
-                 (Chase_exec.Pool.jobs pool))
-            d_comp d_par
+          List.concat_map
+            (fun (backend, d_seq) ->
+              let d_par =
+                Restricted.run ~backend ~strategy ~max_steps ~naming:`Canonical ~pool tgds db
+              in
+              compare_derivations ~invariant:"jobs-agreement"
+                ~what:
+                  (Printf.sprintf "restricted/%s/%s jobs=1-vs-jobs=%d" sname
+                     (Restricted.backend_name backend)
+                     (Chase_exec.Pool.jobs pool))
+                d_seq d_par)
+            store_runs
       in
       let valid =
         List.concat_map
@@ -135,34 +145,38 @@ let check_restricted ~pool ~budgets tgds db =
             else
               fail "derivation-valid" "restricted/%s %s derivation fails validation" sname
                 (Restricted.backend_name backend))
-          [ (`Naive, d_naive); (`Compiled, d_comp) ]
+          ((`Naive, d_naive) :: store_runs)
       in
       let model =
-        if Derivation.status d_comp <> Derivation.Terminated then []
-        else if Model_check.is_model ~database:db ~tgds (Derivation.final d_comp) then []
+        if Derivation.status d_naive <> Derivation.Terminated then []
+        else if Model_check.is_model ~database:db ~tgds (Derivation.final d_naive) then []
         else fail "model" "restricted/%s terminated on a non-model" sname
       in
-      let stop = check_stop_relation ~what:(Printf.sprintf "restricted/%s" sname) tgds d_comp in
-      backends @ jobs @ valid @ model @ stop)
+      let stop = check_stop_relation ~what:(Printf.sprintf "restricted/%s" sname) tgds d_naive in
+      agree @ jobs @ valid @ model @ stop)
     strategies
 
-let check_oblivious ~budgets tgds db =
+let check_oblivious ~budgets ~backends tgds db =
   let max_steps = budgets.oblivious_steps in
   List.concat_map
     (fun (variant, vname) ->
       guarded (Printf.sprintf "oblivious(%s)" vname) @@ fun () ->
-      let r1 = Oblivious.run ~backend:`Compiled ~variant ~max_steps tgds db in
-      let r2 = Oblivious.run ~backend:`Naive ~variant ~max_steps tgds db in
-      if
-        not
-          (Instance.equal r1.Oblivious.instance r2.Oblivious.instance
-          && r1.Oblivious.applications = r2.Oblivious.applications
-          && r1.Oblivious.saturated = r2.Oblivious.saturated)
-      then
-        fail "backend-agreement" "%s: compiled (%d apps, saturated %b) vs naive (%d apps, %b)"
-          vname r1.Oblivious.applications r1.Oblivious.saturated r2.Oblivious.applications
-          r2.Oblivious.saturated
-      else [])
+      let r1 = Oblivious.run ~backend:`Naive ~variant ~max_steps tgds db in
+      List.concat_map
+        (fun b ->
+          let other = Restricted.backend_name (b :> Restricted.backend) in
+          let r2 = Oblivious.run ~backend:(b :> Oblivious.backend) ~variant ~max_steps tgds db in
+          if
+            not
+              (Instance.equal r1.Oblivious.instance r2.Oblivious.instance
+              && r1.Oblivious.applications = r2.Oblivious.applications
+              && r1.Oblivious.saturated = r2.Oblivious.saturated)
+          then
+            fail "backend-agreement" "%s: naive (%d apps, saturated %b) vs %s (%d apps, %b)"
+              vname r1.Oblivious.applications r1.Oblivious.saturated other
+              r2.Oblivious.applications r2.Oblivious.saturated
+          else [])
+        backends)
     [ (Oblivious.Oblivious, "oblivious"); (Oblivious.Semi_oblivious, "semi-oblivious") ]
 
 (* When both chases complete, restricted and oblivious results are both
@@ -216,7 +230,7 @@ let check_ochase ~budgets tgds db =
    of budget.  The split is by atom index modulo k over the instance's
    canonical atom order, so the interleaving is reproducible from the
    case alone. *)
-let check_incremental ~pool ~budgets tgds db =
+let check_incremental ~pool ~budgets ~backends tgds db =
   guarded "incremental" @@ fun () ->
   let max_steps = budgets.restricted_steps in
   let scratch =
@@ -226,9 +240,10 @@ let check_incremental ~pool ~budgets tgds db =
   else
     let atoms = Instance.to_list db in
     List.concat_map
-      (fun k ->
+      (fun (k, backend) ->
+        let bname = Restricted.backend_name (backend :> Restricted.backend) in
         let batch i = List.filteri (fun j _ -> j mod k = i) atoms in
-        let s = Incremental.create ~strategy:Restricted.Fifo tgds Instance.empty in
+        let s = Incremental.create ~strategy:Restricted.Fifo ~backend tgds Instance.empty in
         let exhausted = ref false in
         for i = 0 to k - 1 do
           if not !exhausted then begin
@@ -244,20 +259,21 @@ let check_incremental ~pool ~budgets tgds db =
             if Model_check.is_model ~database:db ~tgds final then []
             else
               fail "incremental-equivalence"
-                "interleaving k=%d: warm session result is not a model of the accumulated facts"
-                k
+                "interleaving k=%d/%s: warm session result is not a model of the accumulated \
+                 facts"
+                k bname
           in
           let equiv =
             if Model_check.hom_equivalent final (Derivation.final scratch) then []
             else
               fail "incremental-equivalence"
-                "interleaving k=%d: warm session result (%d atoms) is not hom-equivalent to \
-                 the from-scratch chase (%d atoms)"
-                k (Instance.cardinal final)
+                "interleaving k=%d/%s: warm session result (%d atoms) is not hom-equivalent \
+                 to the from-scratch chase (%d atoms)"
+                k bname (Instance.cardinal final)
                 (Instance.cardinal (Derivation.final scratch))
           in
           model @ equiv)
-      [ 2; 3 ]
+      (List.concat_map (fun b -> [ (2, b); (3, b) ]) backends)
 
 let check_decider ~pool ~budgets tgds db =
   match Chase_termination.Decider.decide ~pool tgds with
@@ -294,10 +310,13 @@ let check_decider ~pool ~budgets tgds db =
           @ contradiction
       | _ -> contradiction)
 
-let check ?(pool = Chase_exec.Pool.inline) ?(budgets = default_budgets) tgds db =
-  check_restricted ~pool ~budgets tgds db
-  @ check_oblivious ~budgets tgds db
+let all_store_backends : Store.backend list = [ `Compiled; `Columnar ]
+
+let check ?(pool = Chase_exec.Pool.inline) ?(budgets = default_budgets)
+    ?(backends = all_store_backends) tgds db =
+  check_restricted ~pool ~budgets ~backends tgds db
+  @ check_oblivious ~budgets ~backends tgds db
   @ check_universality ~budgets tgds db
   @ check_ochase ~budgets tgds db
-  @ check_incremental ~pool ~budgets tgds db
+  @ check_incremental ~pool ~budgets ~backends tgds db
   @ check_decider ~pool ~budgets tgds db

@@ -7,10 +7,13 @@
 
     Invariants checked (names appear in {!discrepancy.invariant}):
 
-    - [backend-agreement] — naive and compiled restricted runs are
-      bit-identical (status, triggers, produced atoms, final instance)
-      for every strategy; same for the oblivious variants.
-    - [jobs-agreement] — a parallel pool run equals the sequential one.
+    - [backend-agreement] — the naive, compiled and columnar restricted
+      runs are bit-identical (status, triggers, produced atoms, final
+      instance) for every strategy; same triple for the oblivious
+      variants.  The naive run is the reference; each store backend in
+      [backends] (default: compiled and columnar) is compared to it.
+    - [jobs-agreement] — a parallel pool run equals the sequential one,
+      on both the compiled and the columnar backend.
     - [derivation-valid] — every step applied an active trigger to the
       previous instance ([Derivation.validate]).
     - [model] — a terminated restricted run's final instance is a model
@@ -28,7 +31,7 @@
       ([Incremental]) in k batches with a chase after each must land
       on a model of the accumulated facts that is hom-equivalent to
       the from-scratch chase (both are universal models of the same
-      database).
+      database) — replayed over both store backends.
     - [decider-crash] — [Decider.decide] must not raise.
     - [decider-wa] — weak acyclicity refutes a [Non_terminating] answer.
     - [decider-termination] — a [Terminating] answer contradicted by
@@ -53,7 +56,18 @@ val default_budgets : budgets
 
 val pp_discrepancy : Format.formatter -> discrepancy -> unit
 
+(** Every store backend, for callers threading a checked set around. *)
+val all_store_backends : Chase_engine.Store.backend list
+
 (** Run the full matrix.  [pool] (default: inline) additionally checks
-    parallel-vs-sequential agreement when it is an actual pool. *)
+    parallel-vs-sequential agreement when it is an actual pool.
+    [backends] (default: {!all_store_backends}) selects the store
+    backends compared against the naive reference — restricted,
+    oblivious, jobs-agreement and incremental sections all honour it. *)
 val check :
-  ?pool:Chase_exec.Pool.t -> ?budgets:budgets -> Tgd.t list -> Instance.t -> discrepancy list
+  ?pool:Chase_exec.Pool.t ->
+  ?budgets:budgets ->
+  ?backends:Chase_engine.Store.backend list ->
+  Tgd.t list ->
+  Instance.t ->
+  discrepancy list

@@ -1,0 +1,472 @@
+(* Columnar interned instances (see cinstance.mli for the layout
+   rationale).  One [rel] per (predicate, arity): growable int-array
+   columns plus per-position posting lists and a row-dedup table, all
+   keyed on dense term ids from one shared interner.
+
+   The hot-path tables are flat open-addressing arrays rather than
+   stdlib [Hashtbl]s: at 10M rows the per-entry cons cells, posting
+   boxes and [find_opt] options dominate both wall time and the GC —
+   the whole point of this backend is that the indexes are unboxed int
+   arrays the collector never traces into. *)
+
+(* A growable set of row indexes, append-only, insertion order.
+   Starts as a singleton: most (position, id) postings in
+   high-cardinality columns never grow past one row. *)
+type posting = { mutable rows : int array; mutable n : int }
+
+let posting_add p row =
+  let cap = Array.length p.rows in
+  if p.n = cap then begin
+    let rows' = Array.make (max 4 (2 * cap)) 0 in
+    Array.blit p.rows 0 rows' 0 p.n;
+    p.rows <- rows'
+  end;
+  p.rows.(p.n) <- row;
+  p.n <- p.n + 1
+
+(* Scatter for open addressing: keys are dense ids or [land max_int]
+   hashes, both sequential-ish — multiply by a big odd constant so the
+   low bits (the slot) depend on all input bits. *)
+let mix k = (k * 0x9e3779b1) land max_int
+
+(* Flat open-addressing multimap from non-negative int keys to int
+   values; [-1] marks an empty slot.  Append-only, no deletion, and a
+   key may occupy several slots (the rowset maps a tuple hash to every
+   row with that hash).  Readers probe from [mix key] to the first
+   empty slot. *)
+module Imap = struct
+  type t = { mutable keys : int array; mutable vals : int array; mutable n : int }
+
+  (* [cap] must be a power of two. *)
+  let create cap = { keys = Array.make cap (-1); vals = Array.make cap 0; n = 0 }
+
+  let add t k v =
+    let cap = Array.length t.keys in
+    if 4 * (t.n + 1) > 3 * cap then begin
+      let cap' = 2 * cap in
+      let mask = cap' - 1 in
+      let keys' = Array.make cap' (-1) and vals' = Array.make cap' 0 in
+      for i = 0 to cap - 1 do
+        let k0 = t.keys.(i) in
+        if k0 >= 0 then begin
+          let j = ref (mix k0 land mask) in
+          while keys'.(!j) >= 0 do
+            j := (!j + 1) land mask
+          done;
+          keys'.(!j) <- k0;
+          vals'.(!j) <- t.vals.(i)
+        end
+      done;
+      t.keys <- keys';
+      t.vals <- vals'
+    end;
+    let mask = Array.length t.keys - 1 in
+    let j = ref (mix k land mask) in
+    while t.keys.(!j) >= 0 do
+      j := (!j + 1) land mask
+    done;
+    t.keys.(!j) <- k;
+    t.vals.(!j) <- v;
+    t.n <- t.n + 1
+end
+
+(* Flat open-addressing map from term ids (unique keys) to postings.
+   The values array is boxed but there is exactly one posting per
+   distinct (position, id) — no per-row allocation. *)
+module Ptbl = struct
+  type t = { mutable keys : int array; mutable vals : posting array; mutable n : int }
+
+  (* Shared "absent" result: a live posting always has [n >= 1]. *)
+  let absent = { rows = [||]; n = 0 }
+
+  let create cap = { keys = Array.make cap (-1); vals = Array.make cap absent; n = 0 }
+
+  let find t id =
+    let keys = t.keys in
+    let mask = Array.length keys - 1 in
+    let j = ref (mix id land mask) in
+    let r = ref absent in
+    while !r == absent && keys.(!j) >= 0 do
+      if keys.(!j) = id then r := t.vals.(!j) else j := (!j + 1) land mask
+    done;
+    !r
+
+  let add_row t id row =
+    let cap = Array.length t.keys in
+    if 4 * (t.n + 1) > 3 * cap then begin
+      let cap' = 2 * cap in
+      let mask = cap' - 1 in
+      let keys' = Array.make cap' (-1) and vals' = Array.make cap' absent in
+      for i = 0 to cap - 1 do
+        let k0 = t.keys.(i) in
+        if k0 >= 0 then begin
+          let j = ref (mix k0 land mask) in
+          while keys'.(!j) >= 0 do
+            j := (!j + 1) land mask
+          done;
+          keys'.(!j) <- k0;
+          vals'.(!j) <- t.vals.(i)
+        end
+      done;
+      t.keys <- keys';
+      t.vals <- vals'
+    end;
+    let keys = t.keys in
+    let mask = Array.length keys - 1 in
+    let j = ref (mix id land mask) in
+    while keys.(!j) >= 0 && keys.(!j) <> id do
+      j := (!j + 1) land mask
+    done;
+    if keys.(!j) = id then posting_add t.vals.(!j) row
+    else begin
+      keys.(!j) <- id;
+      t.vals.(!j) <- { rows = [| row |]; n = 1 };
+      t.n <- t.n + 1
+    end
+end
+
+(* Per-position indexing is split in two tiers.  A bulk load ends by
+   counting-sorting each column into [base_perm]: rows [0, base_n) in
+   id order, probed by binary search — three sequential-ish array
+   passes to build, no hashing, no per-id boxes.  Rows added after the
+   bulk load (chase steps) land in the [index] hash tier instead, so a
+   posting for [id] is the [base_perm] range holding [id] followed by
+   the [Ptbl] posting — both in insertion order. *)
+type rel = {
+  pred : string;
+  arity : int;
+  mutable nrows : int;
+  mutable cap : int;
+  mutable cols : int array array;  (* [arity] arrays of length [cap] *)
+  mutable base_n : int;  (* rows covered by [base_perm] *)
+  mutable base_perm : int array array;  (* per position: rows [0, base_n) sorted by cell id *)
+  index : Ptbl.t array;  (* per position: term id -> rows >= base_n *)
+  rowset : Imap.t;  (* id-tuple hash -> candidate rows *)
+  scratch : int array;  (* per-add id buffer; mutation is single-domain *)
+}
+
+type t = {
+  interner : Term_interner.t;
+  by_name : (string, rel list) Hashtbl.t;  (* arity variants, oldest first *)
+  mutable memo : rel option;  (* last relation touched by [add] *)
+  mutable size : int;
+  mutable snap : Instance.t;  (* persistent image of all but [pending] *)
+  mutable pending : Atom.t list;  (* added since [snap], newest first *)
+}
+
+let create ?(size_hint = 64) () =
+  {
+    interner = Term_interner.create ~size_hint:(max 16 size_hint) ();
+    by_name = Hashtbl.create 16;
+    memo = None;
+    size = 0;
+    snap = Instance.empty;
+    pending = [];
+  }
+
+let rec pow2_ge n k = if k >= n then k else pow2_ge n (2 * k)
+
+(* [rows_hint] pre-sizes the columns and the rowset: a bulk load that
+   knows its row count up front never grows a column or rehashes the
+   rowset (the biggest table — one entry per row). *)
+let make_rel ?(rows_hint = 16) pred arity =
+  let cap = pow2_ge (max 16 rows_hint) 16 in
+  {
+    pred;
+    arity;
+    nrows = 0;
+    cap;
+    cols = Array.init arity (fun _ -> Array.make cap 0);
+    base_n = 0;
+    base_perm = [||];
+    index = Array.init arity (fun _ -> Ptbl.create 16);
+    rowset = Imap.create (2 * cap);
+    scratch = Array.make (max 1 arity) 0;
+  }
+
+(* Counting sort of each column into a base permutation.  Only valid
+   right after a bulk load, while the hash tier is still empty. *)
+let build_base r =
+  r.base_n <- r.nrows;
+  r.base_perm <-
+    Array.init r.arity (fun i ->
+        let col = r.cols.(i) in
+        let n = r.nrows in
+        let maxid = ref 0 in
+        for row = 0 to n - 1 do
+          if col.(row) > !maxid then maxid := col.(row)
+        done;
+        let cnt = Array.make (!maxid + 2) 0 in
+        for row = 0 to n - 1 do
+          cnt.(col.(row) + 1) <- cnt.(col.(row) + 1) + 1
+        done;
+        for id = 1 to !maxid + 1 do
+          cnt.(id) <- cnt.(id) + cnt.(id - 1)
+        done;
+        let perm = Array.make n 0 in
+        for row = 0 to n - 1 do
+          let id = col.(row) in
+          perm.(cnt.(id)) <- row;
+          cnt.(id) <- cnt.(id) + 1
+        done;
+        perm)
+
+(* [base_range r pos id] is the half-open [base_perm.(pos)] interval of
+   rows whose [pos]-th cell is [id] — [(0, 0)]-style empty when the
+   base tier does not cover it. *)
+let base_range r pos id =
+  if r.base_n = 0 || pos >= Array.length r.base_perm then (0, 0)
+  else begin
+    let perm = r.base_perm.(pos) in
+    let col = r.cols.(pos) in
+    let n = r.base_n in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) lsr 1 in
+      if col.(perm.(mid)) < id then lo := mid + 1 else hi := mid
+    done;
+    let first = !lo in
+    let lo = ref first and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) lsr 1 in
+      if col.(perm.(mid)) <= id then lo := mid + 1 else hi := mid
+    done;
+    (first, !lo)
+  end
+
+let variants c pred = Option.value (Hashtbl.find_opt c.by_name pred) ~default:[]
+
+let rel_of_slow ?rows_hint c pred arity =
+  let vs = variants c pred in
+  match List.find_opt (fun r -> r.arity = arity) vs with
+  | Some r -> r
+  | None ->
+      let r = make_rel ?rows_hint pred arity in
+      Hashtbl.replace c.by_name pred (vs @ [ r ]);
+      r
+
+(* Chase steps add runs of same-predicate atoms, so one memo slot skips
+   the string hash on almost every [add]. *)
+let rel_of c pred arity =
+  match c.memo with
+  | Some r when r.arity = arity && String.equal r.pred pred -> r
+  | _ ->
+      let r = rel_of_slow c pred arity in
+      c.memo <- Some r;
+      r
+
+(* Hash of the first [arity] cells of [ids] — the row-dedup key. *)
+let hash_ids ids arity =
+  let h = ref arity in
+  for i = 0 to arity - 1 do
+    h := ((!h * 65599) + ids.(i)) land max_int
+  done;
+  !h
+
+(* Is there a live row of [r] whose cells equal [ids]?  Probes the
+   rowset multimap inline: every slot holding hash [h] names a
+   candidate row whose columns are then compared cell by cell. *)
+let row_mem r h ids =
+  let keys = r.rowset.Imap.keys and vals = r.rowset.Imap.vals in
+  let mask = Array.length keys - 1 in
+  let j = ref (mix h land mask) in
+  let found = ref false in
+  while (not !found) && keys.(!j) >= 0 do
+    (if keys.(!j) = h then begin
+       let row = vals.(!j) in
+       let ok = ref true in
+       for i = 0 to r.arity - 1 do
+         if r.cols.(i).(row) <> ids.(i) then ok := false
+       done;
+       if !ok then found := true
+     end);
+    j := (!j + 1) land mask
+  done;
+  !found
+
+let grow r =
+  let cap' = 2 * r.cap in
+  r.cols <-
+    Array.map
+      (fun col ->
+        let col' = Array.make cap' 0 in
+        Array.blit col 0 col' 0 r.nrows;
+        col')
+      r.cols;
+  r.cap <- cap'
+
+(* [pending] tracking is skipped during [of_instance] bulk load: the
+   source instance itself becomes the snapshot, so consing 10M atoms
+   onto [pending] only to drop them would double load allocation.
+   [dedup:false] likewise skips the rowset probe when the source is a
+   persistent set and cannot contain the row already, and
+   [index:false] defers per-position indexing to the [build_base]
+   counting sort that follows the load. *)
+let add_atom c atom ~track ~dedup ~index =
+  let pred = Atom.pred atom and arity = Atom.arity atom in
+  let r = rel_of c pred arity in
+  let ids = r.scratch in
+  for i = 0 to arity - 1 do
+    ids.(i) <- Term_interner.intern c.interner (Atom.arg atom i)
+  done;
+  let h = hash_ids ids arity in
+  if dedup && row_mem r h ids then begin
+    Obs.incr "cinstance.dup";
+    false
+  end
+  else begin
+    Obs.incr "cinstance.add";
+    if r.nrows = r.cap then grow r;
+    let row = r.nrows in
+    for i = 0 to arity - 1 do
+      r.cols.(i).(row) <- ids.(i);
+      if index then Ptbl.add_row r.index.(i) ids.(i) row
+    done;
+    Imap.add r.rowset h row;
+    r.nrows <- row + 1;
+    c.size <- c.size + 1;
+    if track then c.pending <- atom :: c.pending;
+    true
+  end
+
+let add c atom = add_atom c atom ~track:true ~dedup:true ~index:true
+
+let of_instance i =
+  let c = create ~size_hint:(max 64 (2 * Instance.cardinal i)) () in
+  (* sizing pass: count rows per (predicate, arity) so every relation
+     is born at final capacity — the bulk load below then never copies
+     a column or rehashes a rowset (the per-position posting tables
+     still grow; their cardinality is not knowable without a third
+     pass). *)
+  let counts : (string * int, int ref) Hashtbl.t = Hashtbl.create 16 in
+  (* [Instance.iter] visits atoms in [Atom.compare] order, so each
+     (pred, arity) arrives as one contiguous run and the memo makes
+     the counting pass hash-free for all but the first atom of each *)
+  let memo = ref ("", -1, ref 0) in
+  Instance.iter
+    (fun a ->
+      let pred = Atom.pred a and arity = Atom.arity a in
+      let mp, ma, mc = !memo in
+      if ma = arity && String.equal mp pred then incr mc
+      else begin
+        let cell =
+          match Hashtbl.find_opt counts (pred, arity) with
+          | Some r -> r
+          | None ->
+              let r = ref 0 in
+              Hashtbl.add counts (pred, arity) r;
+              r
+        in
+        incr cell;
+        memo := (pred, arity, cell)
+      end)
+    i;
+  Hashtbl.iter (fun (pred, arity) n -> ignore (rel_of_slow ~rows_hint:!n c pred arity)) counts;
+  Instance.iter (fun a -> ignore (add_atom c a ~track:false ~dedup:false ~index:false)) i;
+  Hashtbl.iter (fun _ rs -> List.iter build_base rs) c.by_name;
+  (* the snapshot is free when it starts from the source instance *)
+  c.snap <- i;
+  c.pending <- [];
+  c
+
+let find_id c term = Term_interner.find c.interner term
+let term_of_id c id = Term_interner.term_of c.interner id
+let interner c = c.interner
+
+let rel_lookup c pred arity = List.find_opt (fun r -> r.arity = arity) (variants c pred)
+
+let mem c atom =
+  let pred = Atom.pred atom and arity = Atom.arity atom in
+  match rel_lookup c pred arity with
+  | None -> false
+  | Some r ->
+      let ids = Array.make (max 1 arity) 0 in
+      let known = ref true in
+      for i = 0 to arity - 1 do
+        let id = Term_interner.find c.interner (Atom.arg atom i) in
+        if id < 0 then known := false else ids.(i) <- id
+      done;
+      !known && row_mem r (hash_ids ids arity) ids
+
+let cardinal c = c.size
+
+let atom_of_rel_row c r row =
+  Atom.make_a r.pred (Array.init r.arity (fun i -> Term_interner.term_of c.interner r.cols.(i).(row)))
+
+let with_pred c pred =
+  List.concat_map
+    (fun r -> List.init r.nrows (fun j -> atom_of_rel_row c r (r.nrows - 1 - j)))
+    (variants c pred)
+
+let pred_count c pred = List.fold_left (fun acc r -> acc + r.nrows) 0 (variants c pred)
+
+(* Rows whose [pos]-th cell is [id], insertion order: the base range
+   first (bulk-loaded rows, ascending row number), then the hash-tier
+   posting (later adds, also ascending). *)
+let iter_posting_rows r pos id f =
+  if pos >= 0 && pos < r.arity && id >= 0 then begin
+    let lo, hi = base_range r pos id in
+    let perm = if r.base_n = 0 then [||] else r.base_perm.(pos) in
+    for k = lo to hi - 1 do
+      f perm.(k)
+    done;
+    let p = Ptbl.find r.index.(pos) id in
+    for j = 0 to p.n - 1 do
+      f p.rows.(j)
+    done
+  end
+
+let posting_rows_count r pos id =
+  if pos < 0 || pos >= r.arity || id < 0 then 0
+  else
+    let lo, hi = base_range r pos id in
+    hi - lo + (Ptbl.find r.index.(pos) id).n
+
+let with_pos_term c pred pos term =
+  let id = find_id c term in
+  List.concat_map
+    (fun r ->
+      (* prepending while walking insertion order yields newest first *)
+      let acc = ref [] in
+      iter_posting_rows r pos id (fun row -> acc := atom_of_rel_row c r row :: !acc);
+      !acc)
+    (variants c pred)
+
+let pos_term_count c pred pos term =
+  let id = find_id c term in
+  List.fold_left (fun acc r -> acc + posting_rows_count r pos id) 0 (variants c pred)
+
+let iter f c =
+  Hashtbl.iter
+    (fun _ rs ->
+      List.iter
+        (fun r ->
+          for row = 0 to r.nrows - 1 do
+            f (atom_of_rel_row c r row)
+          done)
+        rs)
+    c.by_name
+
+let snapshot c =
+  match c.pending with
+  | [] -> c.snap
+  | pending ->
+      Obs.count "cinstance.snapshot.folds" (List.length pending);
+      let snap = List.fold_left (fun i a -> Instance.add a i) c.snap pending in
+      c.snap <- snap;
+      c.pending <- [];
+      snap
+
+module Rel = struct
+  type nonrec t = rel
+
+  let arity r = r.arity
+  let rows r = r.nrows
+  let cols r = r.cols
+
+  let iter_posting r pos id f = iter_posting_rows r pos id f
+  let posting_count r pos id = posting_rows_count r pos id
+end
+
+let rel c pred arity = rel_lookup c pred arity
+let atom_of_row c r row = atom_of_rel_row c r row

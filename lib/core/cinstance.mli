@@ -1,0 +1,108 @@
+(** Columnar, interned mutable instances — the [`Columnar] chase
+    backend's fact store.
+
+    Same logical contract as {!Minstance} — [add]/[mem]/[with_pred]/
+    [with_pos_term]/[snapshot] over ground atoms — but each relation
+    (keyed by predicate {e and} arity) is stored as growable integer
+    columns, one per argument position, over a {!Term_interner}:
+
+    - a fact is one row: arity cells of dense term ids, no boxed
+      [Atom.t] on the hot path;
+    - per-position secondary indexes map a term id to the row numbers
+      where it occurs, replacing the [(pred, pos, term)] Hashtbl of
+      {!Minstance};
+    - duplicate detection hashes the id tuple and compares candidate
+      rows by scanning columns — no structural [Atom.equal] either.
+
+    Join plans probe the columns directly through the {!Rel} API
+    ({!Plan.source_of_cinstance}), comparing ids in the innermost loop.
+    The interner's reverse lookup rebuilds real atoms only at the
+    edges: snapshots, [with_pred]/[with_pos_term] views, and hom emit.
+
+    {b Concurrency.}  Reads never mutate (in particular they never
+    intern: a term the store has not seen occurs in no row), so the
+    parallel speculative activity scan may probe a frozen store from
+    many domains, exactly as with {!Minstance}.  All mutation
+    ({!add}) is single-domain, like every engine's. *)
+
+type t
+
+(** A fresh, empty columnar instance. *)
+val create : ?size_hint:int -> unit -> t
+
+(** Columnar copy of a persistent instance. *)
+val of_instance : Instance.t -> t
+
+(** [add c a] inserts [a]; returns [true] when the atom is new.
+    The only mutating operation. *)
+val add : t -> Atom.t -> bool
+
+val mem : t -> Atom.t -> bool
+val cardinal : t -> int
+
+(** Atoms with the given predicate — newest first within each
+    (predicate, arity) relation. *)
+val with_pred : t -> string -> Atom.t list
+
+val pred_count : t -> string -> int
+
+(** Atoms with the given term at the given 0-based position, newest
+    first within each relation. *)
+val with_pos_term : t -> string -> int -> Term.t -> Atom.t list
+
+val pos_term_count : t -> string -> int -> Term.t -> int
+
+val iter : (Atom.t -> unit) -> t -> unit
+
+(** Persistent image of the current contents; amortized O(atoms added
+    since the previous snapshot), exactly as {!Minstance.snapshot}. *)
+val snapshot : t -> Instance.t
+
+(** {1 Low-level columnar access}
+
+    The raw surface compiled join plans probe ({!Plan.source_of_cinstance}).
+    All of it is read-only; callers must not mutate the store while
+    holding a {!Rel.t} mid-enumeration (the engines never do — matching
+    and adding are separate phases of a chase step). *)
+
+(** [find_id c term] is the dense id of [term], or [-1] when the store
+    has never interned it — in which case no row contains it. *)
+val find_id : t -> Term.t -> int
+
+(** Reverse lookup; total on every id {!find_id} or {!Rel.col} can
+    return. *)
+val term_of_id : t -> int -> Term.t
+
+val interner : t -> Term_interner.t
+
+module Rel : sig
+  type t
+
+  val arity : t -> int
+
+  (** Number of live rows; only cells with row index below this are
+      meaningful. *)
+  val rows : t -> int
+
+  (** The live column arrays, one per position (length = capacity ≥
+      {!rows}; do not mutate, do not read at or past {!rows}). *)
+  val cols : t -> int array array
+
+  (** [iter_posting r pos id f] applies [f] to every row index whose
+      [pos]-th cell is [id], in insertion order.  A no-op for a
+      never-seen id.  Internally the posting is two tiers: a binary
+      search over the bulk-load permutation (rows counting-sorted by
+      id per position) followed by the hash tier holding rows added
+      since. *)
+  val iter_posting : t -> int -> int -> (int -> unit) -> unit
+
+  val posting_count : t -> int -> int -> int
+end
+
+(** The relation storing atoms [pred/arity], if any such atom was ever
+    added. *)
+val rel : t -> string -> int -> Rel.t option
+
+(** The atom stored at a row of a relation (rebuilt through the
+    interner). *)
+val atom_of_row : t -> Rel.t -> int -> Atom.t

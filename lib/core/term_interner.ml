@@ -1,0 +1,49 @@
+(* Dense term <-> id interning (see term_interner.mli).  Forward is a
+   Term-keyed hash table; reverse is a growable array indexed by id, so
+   both directions are O(1) and the id space stays dense. *)
+
+module TTbl = Hashtbl.Make (struct
+  type t = Term.t
+
+  let equal = Term.equal
+  let hash = Term.hash
+end)
+
+type t = {
+  ids : int TTbl.t;
+  mutable terms : Term.t array;  (* reverse lookup; meaningful below [n] *)
+  mutable n : int;
+}
+
+(* Placeholder for unassigned reverse slots; never returned. *)
+let dummy = Term.Const ""
+
+let create ?(size_hint = 64) () =
+  { ids = TTbl.create (max 1 size_hint); terms = Array.make (max 1 size_hint) dummy; n = 0 }
+
+(* Allocation-free on the hit path: [find] returns an immediate int,
+   where [find_opt] would box an option per interned argument. *)
+let intern t term =
+  match TTbl.find t.ids term with
+  | id -> id
+  | exception Not_found ->
+      let id = t.n in
+      let cap = Array.length t.terms in
+      if id = cap then begin
+        let terms' = Array.make (2 * cap) dummy in
+        Array.blit t.terms 0 terms' 0 cap;
+        t.terms <- terms'
+      end;
+      TTbl.add t.ids term id;
+      t.terms.(id) <- term;
+      t.n <- id + 1;
+      id
+
+let find t term = match TTbl.find_opt t.ids term with Some id -> id | None -> -1
+let find_opt t term = TTbl.find_opt t.ids term
+
+let term_of t id =
+  if id < 0 || id >= t.n then invalid_arg (Printf.sprintf "Term_interner.term_of: id %d" id);
+  t.terms.(id)
+
+let cardinal t = t.n

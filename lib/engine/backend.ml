@@ -1,0 +1,13 @@
+type t = [ `Naive | `Compiled | `Columnar ]
+
+let all = [ `Naive; `Compiled; `Columnar ]
+let name = function `Naive -> "naive" | `Compiled -> "compiled" | `Columnar -> "columnar"
+
+let of_name = function
+  | "naive" -> Ok `Naive
+  | "compiled" -> Ok `Compiled
+  | "columnar" -> Ok `Columnar
+  | s ->
+      Error
+        (Printf.sprintf "unknown backend %S (expected one of: %s)" s
+           (String.concat ", " (List.map name all)))

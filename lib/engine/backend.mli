@@ -1,0 +1,21 @@
+(** The chase backends, with the one shared name parser every consumer
+    ([chasectl run]/[fuzz]/[serve], the fuzz oracle, bench) goes
+    through — so an unknown backend name produces the same error
+    everywhere. *)
+
+(** [`Naive]: generic homomorphism search over the persistent instance.
+    [`Compiled]: compiled join plans over the Hashtbl-backed
+    {!Chase_core.Minstance}.  [`Columnar]: the same compiled plans over
+    the interned, columnar {!Chase_core.Cinstance}.  All three produce
+    identical derivations (property-tested and fuzzed). *)
+type t = [ `Naive | `Compiled | `Columnar ]
+
+(** In canonical order: naive, compiled, columnar. *)
+val all : t list
+
+(** Stable lowercase name: ["naive"], ["compiled"], ["columnar"]. *)
+val name : t -> string
+
+(** Inverse of {!name}; [Error] carries the message used verbatim by
+    every CLI surface. *)
+val of_name : string -> (t, string) result

@@ -37,10 +37,10 @@ type outcome = {
 type t = {
   tgds : Tgd.t list;
   strategy : Restricted.strategy;
+  backend : Store.backend;
   plans : (Tgd.t * Plan.t) list;
   mutable base : Instance.t;  (* accumulated asserted facts *)
-  mutable m : Minstance.t;
-  mutable src : Plan.source;
+  mutable store : Store.t;
   mutable memo : Plan.Head_memo.t;
   mutable pool : Restricted.Pool.t;
   mutable saturated : bool;
@@ -61,20 +61,19 @@ let seed_pool t =
   let batch = ref [] in
   List.iter
     (fun (tgd, p) ->
-      Plan.iter_homs p t.src (fun hom -> batch := Trigger.make tgd hom :: !batch))
+      Plan.iter_homs p t.store.Store.source (fun hom -> batch := Trigger.make tgd hom :: !batch))
     t.plans;
   Restricted.Pool.push_batch t.pool !batch
 
-let create ?(strategy = Restricted.Fifo) tgds database =
-  let m = Minstance.of_instance database in
+let create ?(strategy = Restricted.Fifo) ?(backend = `Compiled) tgds database =
   let t =
     {
       tgds;
       strategy;
+      backend;
       plans = List.map (fun tgd -> (tgd, Plan.of_tgd tgd)) tgds;
       base = database;
-      m;
-      src = Plan.source_of_minstance m;
+      store = Store.of_instance backend database;
       memo = Plan.Head_memo.create ();
       pool = Restricted.Pool.create strategy;
       saturated = false;
@@ -89,8 +88,9 @@ let create ?(strategy = Restricted.Fifo) tgds database =
 
 let tgds t = t.tgds
 let base t = t.base
-let instance t = Minstance.snapshot t.m
-let cardinal t = Minstance.cardinal t.m
+let backend t = t.backend
+let instance t = t.store.Store.snapshot ()
+let cardinal t = t.store.Store.cardinal ()
 let pending t = Restricted.Pool.size t.pool
 let saturated t = t.saturated
 let warm t = t.warm
@@ -105,7 +105,8 @@ let discover_delta t atom =
   let batch = ref [] in
   List.iter
     (fun (tgd, p) ->
-      Plan.iter_delta_homs p t.src atom (fun hom -> batch := Trigger.make tgd hom :: !batch))
+      Plan.iter_delta_homs p t.store.Store.source atom (fun hom ->
+          batch := Trigger.make tgd hom :: !batch))
     t.plans;
   Restricted.Pool.push_batch t.pool !batch
 
@@ -114,7 +115,7 @@ let assert_atoms t atoms =
     List.fold_left
       (fun n atom ->
         t.base <- Instance.add atom t.base;
-        if Minstance.add t.m atom then begin
+        if t.store.Store.add atom then begin
           discover_delta t atom;
           n + 1
         end
@@ -132,8 +133,7 @@ let assert_atoms t atoms =
    them, are discarded wholesale — retraction is not monotone, so
    nothing finer is sound without provenance tracking. *)
 let rebuild t =
-  t.m <- Minstance.of_instance t.base;
-  t.src <- Plan.source_of_minstance t.m;
+  t.store <- Store.of_instance t.backend t.base;
   t.memo <- Plan.Head_memo.create ();
   t.pool <- Restricted.Pool.create t.strategy;
   t.saturated <- false;
@@ -157,14 +157,19 @@ let chase ?(epool = Exec.inline) ?(max_steps = default_max_steps) ?deadline ?max
   Obs.span "session.chase" @@ fun () ->
   let incremental = t.warm in
   t.chases <- t.chases + 1;
-  let next_active = Restricted.make_next_active ~epool ~plan_of:(plan_of t) ~src:t.src ~memo:t.memo t.pool in
+  let next_active =
+    Restricted.make_next_active ~epool ~plan_of:(plan_of t) ~src:t.store.Store.source
+      ~memo:t.memo t.pool
+  in
   let over_deadline =
     match deadline with
     | None -> fun _ -> false
     | Some hit -> fun steps -> steps land 31 = 0 && hit ()
   in
   let over_facts =
-    match max_facts with None -> fun () -> false | Some cap -> fun () -> Minstance.cardinal t.m > cap
+    match max_facts with
+    | None -> fun () -> false
+    | Some cap -> fun () -> t.store.Store.cardinal () > cap
   in
   let rec go steps =
     if steps >= max_steps then (steps, Some Steps)
@@ -179,7 +184,7 @@ let chase ?(epool = Exec.inline) ?(max_steps = default_max_steps) ?deadline ?max
       | Some trigger ->
           let produced = Trigger.result trigger in
           List.iter
-            (fun atom -> if Minstance.add t.m atom then discover_delta t atom)
+            (fun atom -> if t.store.Store.add atom then discover_delta t atom)
             produced;
           Obs.incr "session.steps";
           go (steps + 1)

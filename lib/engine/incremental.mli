@@ -48,10 +48,18 @@ type outcome = {
 type t
 
 (** A fresh state over the TGD set and initial database; the frontier
-    is seeded with every trigger of the database. *)
-val create : ?strategy:Restricted.strategy -> Tgd.t list -> Instance.t -> t
+    is seeded with every trigger of the database.  [backend] (default
+    [`Compiled]) picks the mutable store the session chases over —
+    hash-indexed {!Chase_core.Minstance} or the interned columnar
+    {!Chase_core.Cinstance}; the derivation is bit-identical either
+    way. *)
+val create :
+  ?strategy:Restricted.strategy -> ?backend:Store.backend -> Tgd.t list -> Instance.t -> t
 
 val tgds : t -> Tgd.t list
+
+(** The store backend this state was created with. *)
+val backend : t -> Store.backend
 
 (** The accumulated asserted facts (load-time database plus asserts,
     minus retracts) — what a from-scratch chase would start from. *)

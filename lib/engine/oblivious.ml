@@ -8,18 +8,20 @@
    The semi-oblivious chase identifies triggers agreeing on the frontier:
    (σ, h) is applied only if no (σ, h') with h'|fr = h|fr was.
 
-   As in {!Restricted}, two backends run the same schedule: [`Compiled]
-   (default) uses compiled plans over a mutable instance, [`Naive] the
-   generic search over the persistent one.  Candidates are enqueued in
-   sorted batches, so both produce the same application sequence — which
-   matters for the semi-oblivious variant, where the choice of
-   frontier-class representative decides the canonical null names. *)
+   As in {!Restricted}, three backends run the same schedule:
+   [`Compiled] (default) uses compiled plans over a mutable hash-indexed
+   instance, [`Columnar] the same plans over the interned columnar
+   store, [`Naive] the generic search over the persistent one.
+   Candidates are enqueued in sorted batches, so all produce the same
+   application sequence — which matters for the semi-oblivious variant,
+   where the choice of frontier-class representative decides the
+   canonical null names. *)
 
 open Chase_core
 
 type variant = Oblivious | Semi_oblivious
 
-type backend = [ `Compiled | `Naive ]
+type backend = Backend.t
 
 type result = {
   instance : Instance.t;
@@ -59,7 +61,7 @@ let obs_run_start ~variant ~backend ~max_steps database =
     Obs.event "run"
       [
         ("engine", Obs.Str (variant_name variant));
-        ("backend", Obs.Str (match backend with `Compiled -> "compiled" | `Naive -> "naive"));
+        ("backend", Obs.Str (Backend.name backend));
         ("max_steps", Obs.Int max_steps);
         ("database_atoms", Obs.Int (Instance.cardinal database));
       ]
@@ -95,9 +97,9 @@ let run_naive ~variant ~max_steps tgds database =
   in
   loop database 0
 
-let run_compiled ~variant ~max_steps tgds database =
-  let m = Minstance.of_instance database in
-  let src = Plan.source_of_minstance m in
+let run_store ~backend ~variant ~max_steps tgds database =
+  let store = Store.of_instance backend database in
+  let src = store.Store.source in
   let plans = List.map (fun tgd -> (tgd, Plan.of_tgd tgd)) tgds in
   let queue = Queue.create () in
   let enqueue = make_enqueue variant queue in
@@ -106,17 +108,17 @@ let run_compiled ~variant ~max_steps tgds database =
     (fun (tgd, p) -> Plan.iter_homs p src (fun hom -> seed := Trigger.make tgd hom :: !seed))
     plans;
   enqueue !seed;
+  let snapshot () = store.Store.snapshot () in
   let rec loop n =
-    if Queue.is_empty queue then { instance = Minstance.snapshot m; applications = n; saturated = true }
-    else if n >= max_steps then
-      { instance = Minstance.snapshot m; applications = n; saturated = false }
+    if Queue.is_empty queue then { instance = snapshot (); applications = n; saturated = true }
+    else if n >= max_steps then { instance = snapshot (); applications = n; saturated = false }
     else begin
       let trigger = Queue.pop queue in
       Obs.incr "oblivious.applications";
       let produced = Trigger.result trigger in
       (* Add everything first (applications are simultaneous), remember
          which atoms were genuinely new. *)
-      let fresh = List.filter (fun atom -> Minstance.add m atom) produced in
+      let fresh = List.filter (fun atom -> store.Store.add atom) produced in
       Obs.count "oblivious.fresh_atoms" (List.length fresh);
       List.iter
         (fun atom ->
@@ -139,7 +141,7 @@ let run ?(backend = `Compiled) ?(variant = Oblivious) ?(max_steps = default_max_
       let r =
         match backend with
         | `Naive -> run_naive ~variant ~max_steps tgds database
-        | `Compiled -> run_compiled ~variant ~max_steps tgds database
+        | (`Compiled | `Columnar) as b -> run_store ~backend:b ~variant ~max_steps tgds database
       in
       obs_done r;
       r)

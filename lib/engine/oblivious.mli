@@ -10,9 +10,11 @@ open Chase_core
 type variant = Oblivious | Semi_oblivious
 
 (** Matching backend, as in {!Restricted}: compiled plans on the mutable
-    instance (default) vs the generic search on the persistent one; both
-    run the identical application sequence. *)
-type backend = [ `Compiled | `Naive ]
+    hash-indexed instance (default), the same plans on the interned
+    columnar store ([`Columnar]), or the generic search on the
+    persistent one ([`Naive]); all run the identical application
+    sequence. *)
+type backend = Backend.t
 
 type result = {
   instance : Instance.t;

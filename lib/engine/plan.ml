@@ -211,25 +211,34 @@ let of_tgd tgd =
 (* Sources                                                             *)
 (* ------------------------------------------------------------------ *)
 
-type source = {
+(* Generic sources present atoms as [Atom.t] and are matched
+   structurally; the columnar source is probed through id-compare
+   loops of its own (below), sharing only the compiled plans. *)
+type generic = {
   iter_pred : string -> (Atom.t -> unit) -> unit;
   iter_pos_term : string -> int -> Term.t -> (Atom.t -> unit) -> unit;
   count_pos_term : string -> int -> Term.t -> int;
 }
 
+type source = Generic of generic | Columnar of Cinstance.t
+
 let source_of_instance i =
-  {
-    iter_pred = (fun p f -> Atom.Set.iter f (Instance.with_pred_set i p));
-    iter_pos_term = (fun p k t f -> Atom.Set.iter f (Instance.with_pred_pos_term i p k t));
-    count_pos_term = (fun p k t -> Atom.Set.cardinal (Instance.with_pred_pos_term i p k t));
-  }
+  Generic
+    {
+      iter_pred = (fun p f -> Atom.Set.iter f (Instance.with_pred_set i p));
+      iter_pos_term = (fun p k t f -> Atom.Set.iter f (Instance.with_pred_pos_term i p k t));
+      count_pos_term = (fun p k t -> Atom.Set.cardinal (Instance.with_pred_pos_term i p k t));
+    }
 
 let source_of_minstance m =
-  {
-    iter_pred = (fun p f -> List.iter f (Minstance.with_pred m p));
-    iter_pos_term = (fun p k t f -> List.iter f (Minstance.with_pos_term m p k t));
-    count_pos_term = (fun p k t -> Minstance.pos_term_count m p k t);
-  }
+  Generic
+    {
+      iter_pred = (fun p f -> List.iter f (Minstance.with_pred m p));
+      iter_pos_term = (fun p k t f -> List.iter f (Minstance.with_pos_term m p k t));
+      count_pos_term = (fun p k t -> Minstance.pos_term_count m p k t);
+    }
+
+let source_of_cinstance c = Columnar c
 
 (* ------------------------------------------------------------------ *)
 (* Runtime                                                             *)
@@ -268,17 +277,17 @@ let try_match st (env : Term.t option array) (trail : int array) tcur atom =
 
 (* Candidate atoms for a step: cheapest statically-bound index, else a
    predicate scan.  An index probe of cardinality 0 short-circuits. *)
-let iter_candidates src st env f =
+let iter_candidates g st env f =
   if Array.length st.bound = 0 then begin
     Obs.incr "plan.probe.scan";
-    src.iter_pred st.pred f
+    g.iter_pred st.pred f
   end
   else begin
     let best_pos = ref (-1) and best_t = ref (Term.Const "") and best_c = ref max_int in
     Array.iter
       (fun (pos, p) ->
         let v = match p with Fixed t -> t | S s -> Option.get env.(s) in
-        let c = src.count_pos_term st.pred pos v in
+        let c = g.count_pos_term st.pred pos v in
         if c < !best_c then begin
           best_c := c;
           best_pos := pos;
@@ -287,18 +296,18 @@ let iter_candidates src st env f =
       st.bound;
     if !best_c > 0 then begin
       Obs.incr "plan.probe.index";
-      src.iter_pos_term st.pred !best_pos !best_t f
+      g.iter_pos_term st.pred !best_pos !best_t f
     end
     else Obs.incr "plan.probe.empty"
   end
 
-let run_steps src steps env trail start_cursor emit =
+let run_steps g steps env trail start_cursor emit =
   let n = Array.length steps in
   let rec go k tcur =
     if k >= n then emit ()
     else
       let st = steps.(k) in
-      iter_candidates src st env (fun atom ->
+      iter_candidates g st env (fun atom ->
           let cur' = try_match st env trail tcur atom in
           if cur' >= 0 then begin
             go (k + 1) cur';
@@ -319,37 +328,258 @@ let sub_of_env p env =
 
 let scratch p = (Array.make (max 1 p.nslots) None, Array.make (max 1 p.nslots) 0)
 
+(* ------------------------------------------------------------------ *)
+(* Columnar runtime                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The same compiled steps, run against {!Chase_core.Cinstance} columns:
+   the scratch env holds dense term ids (-1 = unbound) and the innermost
+   loop compares ints, never [Term.t] structure.  Every lookup goes
+   through the read-only [Cinstance.find_id] — a term the store never
+   interned occurs in no row, so it simply kills the match.  Interning
+   on the read path is forbidden: the parallel activity scan probes a
+   frozen store from many domains. *)
+
+(* A step's patterns resolved against a concrete store: [>= 0] a fixed
+   term id, [<= -2] the slot [-p - 2], [-1] a fixed term the store never
+   interned (the step can match nothing at all). *)
+let ipats_of ci st =
+  Array.map
+    (function
+      | S s -> -s - 2
+      | Fixed t -> ( match Cinstance.find_id ci t with -1 -> -1 | id -> id))
+    st.pats
+
+(* A resolved step: its relation, live columns and int-encoded pats,
+   fetched once per enumeration (no adds happen mid-enumeration). *)
+type cstep = { cst : step; crel : Cinstance.Rel.t; ccols : int array array; ipats : int array }
+
+exception Dead_step
+
+(* [None] when some step can match nothing — missing relation or an
+   un-interned fixed term — making the whole conjunction empty. *)
+let resolve_steps ci steps =
+  match
+    Array.map
+      (fun st ->
+        match Cinstance.rel ci st.pred st.arity with
+        | None -> raise Dead_step
+        | Some crel ->
+            let ipats = ipats_of ci st in
+            if Array.exists (fun p -> p = -1) ipats then raise Dead_step;
+            { cst = st; crel; ccols = Cinstance.Rel.cols crel; ipats })
+      steps
+  with
+  | csteps -> Some csteps
+  | exception Dead_step -> None
+
+(* Row-matching twin of [try_match]: cell [i] of [row] against
+   [ipats.(i)]. *)
+let try_match_row cols ipats arity (env : int array) (trail : int array) tcur row =
+  let cur = ref tcur in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < arity do
+    let p = ipats.(!i) in
+    let v = cols.(!i).(row) in
+    if p >= 0 then begin if p <> v then ok := false end
+    else begin
+      let s = -p - 2 in
+      let u = env.(s) in
+      if u >= 0 then begin if u <> v then ok := false end
+      else begin
+        env.(s) <- v;
+        trail.(!cur) <- s;
+        incr cur
+      end
+    end;
+    incr i
+  done;
+  if !ok then !cur
+  else begin
+    for j = tcur to !cur - 1 do
+      env.(trail.(j)) <- -1
+    done;
+    -1
+  end
+
+(* Seed twin: match the id tuple of a delta atom instead of a row. *)
+let try_match_ids ids ipats arity (env : int array) (trail : int array) tcur =
+  let cur = ref tcur in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < arity do
+    let p = ipats.(!i) in
+    let v = ids.(!i) in
+    if p >= 0 then begin if p <> v then ok := false end
+    else begin
+      let s = -p - 2 in
+      let u = env.(s) in
+      if u >= 0 then begin if u <> v then ok := false end
+      else begin
+        env.(s) <- v;
+        trail.(!cur) <- s;
+        incr cur
+      end
+    end;
+    incr i
+  done;
+  if !ok then !cur
+  else begin
+    for j = tcur to !cur - 1 do
+      env.(trail.(j)) <- -1
+    done;
+    -1
+  end
+
+(* Candidate rows for a resolved step: cheapest posting list among the
+   statically bound positions, else a full relation scan — the same
+   policy (and Obs counters) as the generic [iter_candidates]. *)
+let iter_candidates_c cs (env : int array) f =
+  if Array.length cs.cst.bound = 0 then begin
+    Obs.incr "plan.probe.scan";
+    let n = Cinstance.Rel.rows cs.crel in
+    for row = 0 to n - 1 do
+      f row
+    done
+  end
+  else begin
+    let best_pos = ref (-1) and best_id = ref (-1) and best_c = ref max_int in
+    Array.iter
+      (fun (pos, _) ->
+        let p = cs.ipats.(pos) in
+        let id = if p >= 0 then p else env.(-p - 2) in
+        let c = Cinstance.Rel.posting_count cs.crel pos id in
+        if c < !best_c then begin
+          best_c := c;
+          best_pos := pos;
+          best_id := id
+        end)
+      cs.cst.bound;
+    if !best_c > 0 then begin
+      Obs.incr "plan.probe.index";
+      Cinstance.Rel.iter_posting cs.crel !best_pos !best_id f
+    end
+    else Obs.incr "plan.probe.empty"
+  end
+
+let run_steps_c csteps (env : int array) trail start_cursor emit =
+  let n = Array.length csteps in
+  let rec go k tcur =
+    if k >= n then emit ()
+    else
+      let cs = csteps.(k) in
+      let arity = cs.cst.arity in
+      iter_candidates_c cs env (fun row ->
+          let cur' = try_match_row cs.ccols cs.ipats arity env trail tcur row in
+          if cur' >= 0 then begin
+            go (k + 1) cur';
+            for j = tcur to cur' - 1 do
+              env.(trail.(j)) <- -1
+            done
+          end)
+  in
+  go 0 start_cursor
+
+let sub_of_env_c p ci (env : int array) =
+  Array.fold_left
+    (fun s slot ->
+      let id = env.(slot) in
+      if id < 0 then s else Substitution.bind p.var_of_slot.(slot) (Cinstance.term_of_id ci id) s)
+    Substitution.empty p.body_slots
+
+let cscratch p = (Array.make (max 1 p.nslots) (-1), Array.make (max 1 p.nslots) 0)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
 let iter_homs p src f =
-  let env, trail = scratch p in
-  run_steps src p.body_order env trail 0 (fun () -> f (sub_of_env p env))
+  match src with
+  | Generic g ->
+      let env, trail = scratch p in
+      run_steps g p.body_order env trail 0 (fun () -> f (sub_of_env p env))
+  | Columnar ci -> (
+      match resolve_steps ci p.body_order with
+      | None -> ()
+      | Some csteps ->
+          let env, trail = cscratch p in
+          run_steps_c csteps env trail 0 (fun () -> f (sub_of_env_c p ci env)))
 
 let iter_delta_homs p src atom f =
   let pred = Atom.pred atom in
-  Array.iter
-    (fun (seed, suffix) ->
-      (* the delta atom comes from outside the per-predicate indexes, so
-         the predicate must be checked here *)
-      if String.equal seed.pred pred then begin
-        let env, trail = scratch p in
-        let cur = try_match seed env trail 0 atom in
-        if cur >= 0 then begin
-          Obs.incr "plan.delta.seed";
-          run_steps src suffix env trail cur (fun () -> f (sub_of_env p env))
-        end
-      end)
-    p.delta
+  match src with
+  | Generic g ->
+      Array.iter
+        (fun (seed, suffix) ->
+          (* the delta atom comes from outside the per-predicate indexes, so
+             the predicate must be checked here *)
+          if String.equal seed.pred pred then begin
+            let env, trail = scratch p in
+            let cur = try_match seed env trail 0 atom in
+            if cur >= 0 then begin
+              Obs.incr "plan.delta.seed";
+              run_steps g suffix env trail cur (fun () -> f (sub_of_env p env))
+            end
+          end)
+        p.delta
+  | Columnar ci ->
+      let arity = Atom.arity atom in
+      let aids = Array.init arity (fun i -> Cinstance.find_id ci (Atom.arg atom i)) in
+      (* delta atoms are always already in the store (engines add before
+         discovering), so their args are interned; if not, no stored row
+         can join with them and there is nothing to seed *)
+      if not (Array.exists (fun id -> id < 0) aids) then
+        Array.iter
+          (fun (seed, suffix) ->
+            if String.equal seed.pred pred && seed.arity = arity then begin
+              let ipats = ipats_of ci seed in
+              if not (Array.exists (fun q -> q = -1) ipats) then begin
+                let env, trail = cscratch p in
+                let cur = try_match_ids aids ipats arity env trail 0 in
+                if cur >= 0 then begin
+                  Obs.incr "plan.delta.seed";
+                  match resolve_steps ci suffix with
+                  | None -> ()
+                  | Some csteps ->
+                      run_steps_c csteps env trail cur (fun () -> f (sub_of_env_c p ci env))
+                end
+              end
+            end)
+          p.delta
 
 exception Sat
 
 let head_satisfied p src hom =
-  let env, trail = scratch p in
-  Array.iteri
-    (fun k slot -> env.(slot) <- Some (Substitution.apply_term hom p.frontier_vars.(k)))
-    p.frontier_slots;
-  try
-    run_steps src p.head_steps env trail 0 (fun () -> raise Sat);
-    false
-  with Sat -> true
+  match src with
+  | Generic g -> (
+      let env, trail = scratch p in
+      Array.iteri
+        (fun k slot -> env.(slot) <- Some (Substitution.apply_term hom p.frontier_vars.(k)))
+        p.frontier_slots;
+      try
+        run_steps g p.head_steps env trail 0 (fun () -> raise Sat);
+        false
+      with Sat -> true)
+  | Columnar ci -> (
+      match resolve_steps ci p.head_steps with
+      | None -> false
+      | Some csteps -> (
+          let env, trail = cscratch p in
+          let known = ref true in
+          Array.iteri
+            (fun k slot ->
+              let id = Cinstance.find_id ci (Substitution.apply_term hom p.frontier_vars.(k)) in
+              if id < 0 then known := false else env.(slot) <- id)
+            p.frontier_slots;
+          (* a frontier term the store never saw occurs in no row, so no
+             extension can map the head in *)
+          !known
+          &&
+          try
+            run_steps_c csteps env trail 0 (fun () -> raise Sat);
+            false
+          with Sat -> true))
 
 let frontier_image p hom =
   Array.fold_right (fun v acc -> Substitution.apply_term hom v :: acc) p.frontier_vars []

@@ -22,9 +22,10 @@
       satisfaction is monotone under chase growth, so positive answers
       are cached for a whole run).
 
-    Plans run against an abstract {!source}, so the same compiled code
-    serves the persistent {!Chase_core.Instance} and the mutable
-    {!Chase_core.Minstance} backends. *)
+    Plans run against an abstract {!source}, so the same compiled plans
+    serve the persistent {!Chase_core.Instance}, the mutable
+    {!Chase_core.Minstance} and the columnar {!Chase_core.Cinstance}
+    backends. *)
 
 open Chase_core
 
@@ -41,16 +42,18 @@ val tgd : t -> Tgd.t
 
 (** {1 Data sources} *)
 
-(** What a plan needs from an instance representation: predicate scans,
-    [(pred, pos, term)] index scans, and index cardinalities. *)
-type source = {
-  iter_pred : string -> (Atom.t -> unit) -> unit;
-  iter_pos_term : string -> int -> Term.t -> (Atom.t -> unit) -> unit;
-  count_pos_term : string -> int -> Term.t -> int;
-}
+(** What a plan runs against.  Generic sources (persistent {!Instance},
+    mutable {!Minstance}) present atoms as [Atom.t] and are matched
+    structurally; the columnar {!Cinstance} source is probed through an
+    id-based twin of the runtime — same compiled steps, same index
+    policy, but the innermost loop compares dense term ids.  All three
+    enumerate the same homomorphisms, so engines are backend-agnostic
+    above this seam. *)
+type source
 
 val source_of_instance : Instance.t -> source
 val source_of_minstance : Minstance.t -> source
+val source_of_cinstance : Cinstance.t -> source
 
 (** {1 Running plans} *)
 

@@ -11,12 +11,14 @@
    downwards (instances only grow, so a satisfied head stays satisfied), so
    a candidate found inactive can be dropped for good.
 
-   Two backends run the same schedule.  [`Compiled] (the default) matches
-   bodies with compiled join plans ({!Plan}) over a mutable hash-indexed
-   instance ({!Chase_core.Minstance}) and memoizes satisfied heads;
-   [`Naive] is the original generic-homomorphism search over the
-   persistent instance, kept as the oracle for equivalence tests.  Both
-   push candidate triggers into the pool in batches sorted by
+   Three backends run the same schedule.  [`Compiled] (the default)
+   matches bodies with compiled join plans ({!Plan}) over a mutable
+   hash-indexed instance ({!Chase_core.Minstance}) and memoizes
+   satisfied heads; [`Columnar] runs the same plans over the interned
+   columnar store ({!Chase_core.Cinstance}), id-comparing in the inner
+   join loop; [`Naive] is the original generic-homomorphism search over
+   the persistent instance, kept as the oracle for equivalence tests.
+   All push candidate triggers into the pool in batches sorted by
    {!Trigger.compare} — one batch for the initial instance, one per
    produced atom — so the pop sequence, and hence the whole derivation,
    is identical across backends for every strategy. *)
@@ -29,14 +31,14 @@ type strategy =
   | Lifo  (* newest candidate first — depth-first, possibly unfair *)
   | Random of int  (* uniformly random candidate, seeded *)
 
-type backend = [ `Compiled | `Naive ]
+type backend = Backend.t
 
 let strategy_name = function
   | Fifo -> "fifo"
   | Lifo -> "lifo"
   | Random _ -> "random"
 
-let backend_name = function `Compiled -> "compiled" | `Naive -> "naive"
+let backend_name = Backend.name
 
 module TrigTbl = Hashtbl.Make (Trigger)
 
@@ -334,10 +336,13 @@ let run_naive ~strategy ~max_steps ~gen tgds database =
   in
   loop database [] 0
 
-let run_compiled ~strategy ~max_steps ~gen ~epool tgds database =
-  obs_run_start ~backend:`Compiled ~strategy ~max_steps database;
-  let m = Minstance.of_instance database in
-  let src = Plan.source_of_minstance m in
+(* The store-backed engine shared by the [`Compiled] and [`Columnar]
+   backends: the loop is identical, only the fact store behind the
+   {!Store.t} seam differs. *)
+let run_store ~backend ~strategy ~max_steps ~gen ~epool tgds database =
+  obs_run_start ~backend:(backend :> backend) ~strategy ~max_steps database;
+  let store = Store.of_instance backend database in
+  let src = store.Store.source in
   let plans = List.map (fun tgd -> (tgd, Plan.of_tgd tgd)) tgds in
   let memo = Plan.Head_memo.create () in
   (* Every trigger in this run carries a tgd from [plans] itself, so the
@@ -371,7 +376,7 @@ let run_compiled ~strategy ~max_steps ~gen ~epool tgds database =
       | Some trigger ->
           begin
             let produced = Trigger.result ?gen trigger in
-            List.iter (fun atom -> ignore (Minstance.add m atom)) produced;
+            List.iter (fun atom -> ignore (store.Store.add atom)) produced;
             List.iter
               (fun atom ->
                 let batch = ref [] in
@@ -406,7 +411,8 @@ let run ?(backend = `Compiled) ?(strategy = Fifo) ?(max_steps = default_max_step
   Obs.span "restricted.run" (fun () ->
       match backend with
       | `Naive -> run_naive ~strategy ~max_steps ~gen tgds database
-      | `Compiled -> run_compiled ~strategy ~max_steps ~gen ~epool:pool tgds database)
+      | (`Compiled | `Columnar) as b ->
+          run_store ~backend:b ~strategy ~max_steps ~gen ~epool:pool tgds database)
 
 (* Convenience: chase to completion or fail. *)
 exception Did_not_terminate of Derivation.t

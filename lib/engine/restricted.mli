@@ -11,17 +11,21 @@ type strategy =
 
 (** Matching backend.  [`Compiled] (default): compiled join plans over a
     mutable hash-indexed instance with memoized head satisfaction.
-    [`Naive]: the generic homomorphism search over the persistent
-    instance.  Both produce {e identical} derivations for every strategy
-    (candidates enter the pool in canonically sorted batches), which the
-    property tests check. *)
-type backend = [ `Compiled | `Naive ]
+    [`Columnar]: the same compiled plans over the interned columnar
+    store ({!Chase_core.Cinstance}) — id comparisons in the innermost
+    join loop, built for 10M+-fact databases.  [`Naive]: the generic
+    homomorphism search over the persistent instance.  All three
+    produce {e identical} derivations for every strategy (candidates
+    enter the pool in canonically sorted batches), which the property
+    tests and the fuzz oracle check. *)
+type backend = Backend.t
 
 (** Stable lowercase name of a strategy (["fifo"], ["lifo"], ["random"])
     — the value used in observability events and by the CLI. *)
 val strategy_name : strategy -> string
 
-(** Stable lowercase name of a backend (["compiled"], ["naive"]). *)
+(** Stable lowercase name of a backend (["compiled"], ["columnar"],
+    ["naive"]) — {!Backend.name}. *)
 val backend_name : backend -> string
 
 val default_max_steps : int
@@ -78,7 +82,8 @@ val drain_status : Pool.t -> (Trigger.t -> bool) -> Derivation.status
     See [docs/OBSERVABILITY.md] for the full signal schema.
 
     [pool] (default: inline) parallelizes the activity scan on the
-    [`Compiled] backend: a speculative window of upcoming pops is tested
+    store-backed backends ([`Compiled], [`Columnar]): a speculative
+    window of upcoming pops is tested
     across domains against the frozen instance and the first active
     trigger in pop order wins, so the derivation — triggers, order,
     nulls, status — is {e bit-identical} to the sequential run for every

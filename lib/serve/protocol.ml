@@ -13,7 +13,12 @@ type budgets_override = {
 let no_override = { max_steps = None; max_facts = None; max_wall_ms = None }
 
 type t =
-  | Load_program of { session : string; program : string; budgets : budgets_override }
+  | Load_program of {
+      session : string;
+      program : string;
+      budgets : budgets_override;
+      backend : Chase_engine.Store.backend option;
+    }
   | Assert_facts of { session : string; facts : string }
   | Retract of { session : string; facts : string }
   | Chase of { session : string; max_steps : int option }
@@ -103,7 +108,14 @@ let of_json json =
                   max_wall_ms = Json.to_float_opt (Json.member "max_wall_ms" json);
                 }
               in
-              Ok (Load_program { session; program; budgets }))
+              match str "backend" with
+              | None -> Ok (Load_program { session; program; budgets; backend = None })
+              | Some b -> (
+                  match Chase_engine.Store.backend_of_name b with
+                  | Stdlib.Ok backend ->
+                      Ok (Load_program { session; program; budgets; backend = Some backend })
+                  | Stdlib.Error msg ->
+                      Fail (Invalid_request, Printf.sprintf "field \"backend\": %s" msg)))
       | Some "assert" -> required "facts" (fun facts -> Ok (Assert_facts { session; facts }))
       | Some "retract" -> required "facts" (fun facts -> Ok (Retract { session; facts }))
       | Some "chase" ->

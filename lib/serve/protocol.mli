@@ -15,7 +15,14 @@ type budgets_override = {
 val no_override : budgets_override
 
 type t =
-  | Load_program of { session : string; program : string; budgets : budgets_override }
+  | Load_program of {
+      session : string;
+      program : string;
+      budgets : budgets_override;
+      backend : Chase_engine.Store.backend option;
+          (** optional ["backend"] field, ["compiled"] or ["columnar"];
+              [None] inherits the server default *)
+    }
   | Assert_facts of { session : string; facts : string }
   | Retract of { session : string; facts : string }
   | Chase of { session : string; max_steps : int option }

@@ -13,9 +13,14 @@ open Chase_core
 module Exec = Chase_exec.Pool
 module P = Protocol
 
-type config = { max_sessions : int; defaults : Session.budgets }
+type config = {
+  max_sessions : int;
+  defaults : Session.budgets;
+  backend : Chase_engine.Store.backend;
+}
 
-let default_config = { max_sessions = 64; defaults = Session.default_budgets }
+let default_config =
+  { max_sessions = 64; defaults = Session.default_budgets; backend = `Compiled }
 
 type t = {
   config : config;
@@ -104,7 +109,7 @@ let chase_fields (r : Session.chase_record) inc =
   @ limit_field r.Session.limit
   @ [ ("wall_ms", Json.Float r.Session.wall_ms) ]
 
-let handle_load t ~session ~program ~budgets =
+let handle_load t ~session ~program ~budgets ~backend =
   let fresh = not (Hashtbl.mem t.sessions session) in
   if fresh && session_count t >= t.config.max_sessions then
     fail P.Busy "session table is full (%d sessions); close one or raise --max-sessions"
@@ -116,12 +121,14 @@ let handle_load t ~session ~program ~budgets =
   if Instance.cardinal db > budgets.Session.max_facts then
     fail P.Budget_exhausted "program carries %d facts, over the session's max_facts %d"
       (Instance.cardinal db) budgets.Session.max_facts;
-  let s = Session.create ~name:session ~budgets tgds db in
+  let backend = Option.value backend ~default:t.config.backend in
+  let s = Session.create ~name:session ~budgets ~backend tgds db in
   Hashtbl.replace t.sessions session s;
   Obs.gauge "serve.sessions" (session_count t);
   [
     ("tgds", Json.Int (List.length tgds));
     ("facts", Json.Int (Instance.cardinal db));
+    ("backend", Json.Str (Chase_engine.Backend.name (backend :> Chase_engine.Backend.t)));
     ("fresh", Json.Bool fresh);
   ]
 
@@ -256,6 +263,8 @@ let handle_stats t ~session =
           @ [ ("wall_ms", Json.Float r.Session.wall_ms) ])
   in
   [
+    ( "backend",
+      Json.Str (Chase_engine.Backend.name (Session.backend s :> Chase_engine.Backend.t)) );
     ("facts", Json.Int (Chase_engine.Incremental.cardinal inc));
     ("base_facts", Json.Int (Instance.cardinal (Chase_engine.Incremental.base inc)));
     ("pending", Json.Int (Chase_engine.Incremental.pending inc));
@@ -287,7 +296,8 @@ let handle_close t ~session =
 
 let handle t req =
   match req with
-  | P.Load_program { session; program; budgets } -> handle_load t ~session ~program ~budgets
+  | P.Load_program { session; program; budgets; backend } ->
+      handle_load t ~session ~program ~budgets ~backend
   | P.Assert_facts { session; facts } -> handle_assert t ~session ~facts
   | P.Retract { session; facts } -> handle_retract t ~session ~facts
   | P.Chase { session; max_steps } -> handle_chase t ~session ~max_steps

@@ -7,6 +7,9 @@
 type config = {
   max_sessions : int;  (** admission control: [busy] beyond this *)
   defaults : Session.budgets;  (** for sessions without overrides *)
+  backend : Chase_engine.Store.backend;
+      (** store backend for sessions whose [load-program] has no
+          ["backend"] field — the CLI's [--backend] *)
 }
 
 val default_config : config

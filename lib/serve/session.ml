@@ -35,14 +35,16 @@ type t = {
   mutable last_chase : chase_record option;
 }
 
-let create ~name ~budgets tgds database =
+let create ~name ~budgets ?(backend = `Compiled) tgds database =
   {
     name;
     budgets;
-    inc = Chase_engine.Incremental.create tgds database;
+    inc = Chase_engine.Incremental.create ~backend tgds database;
     stats = Obs.Stats.create ();
     last_chase = None;
   }
+
+let backend t = Chase_engine.Incremental.backend t.inc
 
 let name t = t.name
 let budgets t = t.budgets

@@ -27,8 +27,20 @@ type chase_record = {
 
 type t
 
-val create : name:string -> budgets:budgets -> Tgd.t list -> Instance.t -> t
+(** [backend] (default [`Compiled]) picks the session's mutable fact
+    store — see {!Chase_engine.Store.backend}. *)
+val create :
+  name:string ->
+  budgets:budgets ->
+  ?backend:Chase_engine.Store.backend ->
+  Tgd.t list ->
+  Instance.t ->
+  t
+
 val name : t -> string
+
+(** The store backend this session chases over. *)
+val backend : t -> Chase_engine.Store.backend
 val budgets : t -> budgets
 val incremental : t -> Chase_engine.Incremental.t
 val stats : t -> Obs.Stats.t

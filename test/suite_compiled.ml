@@ -3,7 +3,8 @@
    must agree exactly with the naive generic-search implementations they
    replace.  The run-level tests check *identical* derivations — same
    triggers in the same order, same produced atoms (including fresh null
-   names), same status — for all three strategies and both backends. *)
+   names), same status — for all three strategies and all three
+   backends (naive, compiled, columnar). *)
 
 open Chase_core
 open Chase_engine
@@ -100,24 +101,67 @@ let properties =
                   && ignore ar = ())
                 Tgen.schema_preds));
     QCheck_alcotest.to_alcotest
-      (Test.make ~name:"restricted chase: compiled and naive backends derive identically"
+      (Test.make ~name:"plans over Cinstance = plans over Instance" ~count:200
+         (Gen.pair tgds_gen Tgen.instance_gen) (fun (tgds, db) ->
+           let csrc = Plan.source_of_cinstance (Cinstance.of_instance db) in
+           let collect src tgd =
+             let acc = ref TrigSet.empty in
+             Plan.iter_homs (Plan.of_tgd tgd) src (fun hom ->
+                 acc := TrigSet.add (Trigger.make tgd hom) !acc);
+             !acc
+           in
+           List.for_all
+             (fun tgd ->
+               TrigSet.equal
+                 (collect (Plan.source_of_instance db) tgd)
+                 (collect csrc tgd))
+             tgds));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"Cinstance mirrors Instance contents and index" ~count:200
+         (Gen.pair Tgen.instance_gen (Gen.list_size (Gen.int_range 0 6) Tgen.ground_atom_gen))
+         (fun (db, extra) ->
+           let m = Cinstance.of_instance db in
+           let reference = List.fold_left (fun i a -> Instance.add a i) db extra in
+           List.iter (fun a -> ignore (Cinstance.add m a)) extra;
+           Instance.equal (Cinstance.snapshot m) reference
+           && Cinstance.cardinal m = Instance.cardinal reference
+           && Instance.for_all (fun a -> Cinstance.mem m a) reference
+           && List.for_all
+                (fun (p, ar) ->
+                  Cinstance.pred_count m p = List.length (Instance.with_pred reference p)
+                  && List.for_all
+                       (fun a ->
+                         let t = Atom.arg a 0 in
+                         let ixd = Cinstance.with_pos_term m p 0 t in
+                         Atom.Set.equal
+                           (Atom.Set.of_list ixd)
+                           (Instance.with_pred_pos_term reference p 0 t)
+                         && Cinstance.pos_term_count m p 0 t = List.length ixd)
+                       (Instance.with_pred reference p)
+                  && ignore ar = ())
+                Tgen.schema_preds));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"restricted chase: store backends and naive derive identically"
          ~count:60
          (Gen.pair tgds_gen (Gen.int_bound 100_000))
          (fun (tgds, seed) ->
            let db = random_db tgds seed in
            List.for_all
-             (fun strategy ->
+             (fun backend ->
                List.for_all
-                 (fun naming ->
-                   let d1 =
-                     Restricted.run ~backend:`Compiled ~strategy ~naming ~max_steps:60 tgds db
-                   in
-                   let d2 =
-                     Restricted.run ~backend:`Naive ~strategy ~naming ~max_steps:60 tgds db
-                   in
-                   same_derivation d1 d2)
-                 [ `Fresh; `Canonical ])
-             strategies));
+                 (fun strategy ->
+                   List.for_all
+                     (fun naming ->
+                       let d1 =
+                         Restricted.run ~backend ~strategy ~naming ~max_steps:60 tgds db
+                       in
+                       let d2 =
+                         Restricted.run ~backend:`Naive ~strategy ~naming ~max_steps:60 tgds db
+                       in
+                       same_derivation d1 d2)
+                     [ `Fresh; `Canonical ])
+                 strategies)
+             [ `Compiled; `Columnar ]));
     QCheck_alcotest.to_alcotest
       (Test.make ~name:"restricted chase backends agree on WA workloads (terminating)"
          ~count:40 (Gen.int_bound 100_000) (fun seed ->
@@ -125,22 +169,29 @@ let properties =
            let db = random_db tgds seed in
            List.for_all
              (fun strategy ->
-               same_derivation
-                 (Restricted.run ~backend:`Compiled ~strategy ~max_steps:2_000 tgds db)
-                 (Restricted.run ~backend:`Naive ~strategy ~max_steps:2_000 tgds db))
+               let reference = Restricted.run ~backend:`Naive ~strategy ~max_steps:2_000 tgds db in
+               List.for_all
+                 (fun backend ->
+                   same_derivation
+                     (Restricted.run ~backend ~strategy ~max_steps:2_000 tgds db)
+                     reference)
+                 [ `Compiled; `Columnar ])
              strategies));
     QCheck_alcotest.to_alcotest
-      (Test.make ~name:"oblivious chase: compiled and naive backends agree" ~count:60
+      (Test.make ~name:"oblivious chase: store backends and naive agree" ~count:60
          (Gen.pair tgds_gen (Gen.int_bound 100_000))
          (fun (tgds, seed) ->
            let db = random_db tgds seed in
            List.for_all
              (fun variant ->
-               let r1 = Oblivious.run ~backend:`Compiled ~variant ~max_steps:80 tgds db in
                let r2 = Oblivious.run ~backend:`Naive ~variant ~max_steps:80 tgds db in
-               Instance.equal r1.Oblivious.instance r2.Oblivious.instance
-               && r1.Oblivious.applications = r2.Oblivious.applications
-               && r1.Oblivious.saturated = r2.Oblivious.saturated)
+               List.for_all
+                 (fun backend ->
+                   let r1 = Oblivious.run ~backend ~variant ~max_steps:80 tgds db in
+                   Instance.equal r1.Oblivious.instance r2.Oblivious.instance
+                   && r1.Oblivious.applications = r2.Oblivious.applications
+                   && r1.Oblivious.saturated = r2.Oblivious.saturated)
+                 [ `Compiled; `Columnar ])
              [ Oblivious.Oblivious; Oblivious.Semi_oblivious ]));
   ]
 

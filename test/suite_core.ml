@@ -129,6 +129,122 @@ let unit_tests =
         Alcotest.(check bool) "subset" true (Instance.subset i1 u));
   ]
 
+(* Edge cases both mutable fact stores must get right, run against
+   Minstance and Cinstance through the same closure record (the same
+   shape as the engines' store seam). *)
+type store = {
+  add : Atom.t -> bool;
+  mem : Atom.t -> bool;
+  cardinal : unit -> int;
+  with_pred : string -> Atom.t list;
+  with_pos_term : string -> int -> Term.t -> Atom.t list;
+  pos_term_count : string -> int -> Term.t -> int;
+  snapshot : unit -> Instance.t;
+}
+
+let minstance_store () =
+  let m = Minstance.create () in
+  {
+    add = Minstance.add m;
+    mem = Minstance.mem m;
+    cardinal = (fun () -> Minstance.cardinal m);
+    with_pred = Minstance.with_pred m;
+    with_pos_term = Minstance.with_pos_term m;
+    pos_term_count = Minstance.pos_term_count m;
+    snapshot = (fun () -> Minstance.snapshot m);
+  }
+
+let cinstance_store () =
+  let m = Cinstance.create () in
+  {
+    add = Cinstance.add m;
+    mem = Cinstance.mem m;
+    cardinal = (fun () -> Cinstance.cardinal m);
+    with_pred = Cinstance.with_pred m;
+    with_pos_term = Cinstance.with_pos_term m;
+    pos_term_count = Cinstance.pos_term_count m;
+    snapshot = (fun () -> Cinstance.snapshot m);
+  }
+
+let storage_tests =
+  let cases (name, make) =
+    [
+      Alcotest.test_case (name ^ ": 0-ary predicate") `Quick (fun () ->
+          let s = make () in
+          let p0 = Atom.make "p" [] in
+          Alcotest.(check bool) "new" true (s.add p0);
+          Alcotest.(check bool) "dup" false (s.add p0);
+          Alcotest.(check bool) "mem" true (s.mem p0);
+          Alcotest.(check int) "cardinal" 1 (s.cardinal ());
+          Alcotest.(check (list atom)) "with_pred" [ p0 ] (s.with_pred "p");
+          Alcotest.check instance "snapshot" (Instance.of_list [ p0 ]) (s.snapshot ()));
+      Alcotest.test_case (name ^ ": duplicate add straddling a snapshot boundary") `Quick
+        (fun () ->
+          let s = make () in
+          let at = a [ c "x"; c "y" ] in
+          Alcotest.(check bool) "first" true (s.add at);
+          let snap1 = s.snapshot () in
+          Alcotest.(check bool) "dup across snapshot" false (s.add at);
+          Alcotest.(check int) "cardinal" 1 (s.cardinal ());
+          Alcotest.check instance "snapshot unchanged" snap1 (s.snapshot ());
+          let at2 = a [ c "y"; c "x" ] in
+          Alcotest.(check bool) "new after snapshot" true (s.add at2);
+          Alcotest.check instance "snapshot grows" (Instance.add at2 snap1) (s.snapshot ()));
+      Alcotest.test_case (name ^ ": growth past initial capacity keeps indexes consistent")
+        `Quick (fun () ->
+          (* 100 rows over 101 distinct terms: columns, postings and the
+             interner all outgrow their initial capacities. *)
+          let s = make () in
+          let k i = c (Printf.sprintf "k%03d" i) in
+          let atoms = List.init 100 (fun i -> a [ k i; k (i + 1) ]) in
+          List.iter (fun at -> Alcotest.(check bool) "new" true (s.add at)) atoms;
+          Alcotest.(check int) "cardinal" 100 (s.cardinal ());
+          List.iteri
+            (fun i at ->
+              Alcotest.(check bool) "mem" true (s.mem at);
+              Alcotest.(check (list atom)) "indexed at pos 0" [ at ]
+                (s.with_pos_term "r" 0 (k i));
+              Alcotest.(check int) "count at pos 0" 1 (s.pos_term_count "r" 0 (k i)))
+            atoms;
+          Alcotest.check instance "snapshot" (Instance.of_list atoms) (s.snapshot ()));
+      Alcotest.test_case (name ^ ": with_pos_term on a never-seen term") `Quick (fun () ->
+          let s = make () in
+          ignore (s.add (a [ c "x"; c "y" ]));
+          Alcotest.(check (list atom)) "ghost term" [] (s.with_pos_term "r" 0 (c "ghost"));
+          Alcotest.(check int) "ghost count" 0 (s.pos_term_count "r" 0 (c "ghost"));
+          Alcotest.(check (list atom)) "ghost pred" [] (s.with_pos_term "zz" 0 (c "x"));
+          Alcotest.(check bool) "ghost mem" false (s.mem (a [ c "ghost"; c "y" ])));
+      Alcotest.test_case (name ^ ": one predicate at two arities") `Quick (fun () ->
+          let s = make () in
+          let one = a [ c "x" ] and two = a [ c "x"; c "y" ] in
+          Alcotest.(check bool) "arity 1" true (s.add one);
+          Alcotest.(check bool) "arity 2" true (s.add two);
+          Alcotest.(check int) "cardinal" 2 (s.cardinal ());
+          Alcotest.(check int) "with_pred sees both" 2 (List.length (s.with_pred "r"));
+          Alcotest.(check bool) "mem arity 1" true (s.mem one);
+          Alcotest.(check bool) "mem arity 2" true (s.mem two));
+    ]
+  in
+  List.concat_map cases [ ("minstance", minstance_store); ("cinstance", cinstance_store) ]
+  @ [
+      Alcotest.test_case "interner: dense ids survive growth past initial capacity" `Quick
+        (fun () ->
+          let it = Term_interner.create ~size_hint:1 () in
+          let terms = List.init 100 (fun i -> c (Printf.sprintf "k%02d" i)) in
+          let ids = List.map (Term_interner.intern it) terms in
+          Alcotest.(check (list int)) "dense ids" (List.init 100 Fun.id) ids;
+          List.iteri
+            (fun i t -> Alcotest.check term "roundtrip" t (Term_interner.term_of it i))
+            terms;
+          Alcotest.(check int) "cardinal" 100 (Term_interner.cardinal it);
+          Alcotest.(check int) "re-intern is stable" 7 (Term_interner.intern it (c "k07"));
+          Alcotest.(check int) "find on missing" (-1) (Term_interner.find it (c "zz")));
+      Alcotest.test_case "cinstance: find_id on a never-interned term" `Quick (fun () ->
+          let ci = Cinstance.of_instance (Instance.of_list [ a [ c "x"; c "y" ] ]) in
+          Alcotest.(check int) "ghost id" (-1) (Cinstance.find_id ci (c "ghost"));
+          Alcotest.(check bool) "seen id" true (Cinstance.find_id ci (c "x") >= 0));
+    ]
+
 let property_tests =
   let open QCheck2 in
   [
@@ -171,4 +287,4 @@ let property_tests =
            Homomorphism.hom_equivalent i j));
   ]
 
-let suite = [ ("core", unit_tests @ property_tests) ]
+let suite = [ ("core", unit_tests @ storage_tests @ property_tests) ]

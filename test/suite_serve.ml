@@ -16,8 +16,9 @@ let jobs = Pool.default_jobs ~default:3 ()
 
 (* --- helpers ---------------------------------------------------------- *)
 
-let server ?(max_sessions = 64) ?(defaults = Session.default_budgets) () =
-  Server.create { Server.max_sessions; defaults }
+let server ?(max_sessions = 64) ?(defaults = Session.default_budgets) ?(backend = `Compiled) ()
+    =
+  Server.create { Server.max_sessions; defaults; backend }
 
 let ask srv line = Server.dispatch srv line
 
