@@ -201,25 +201,93 @@ let chase_cmd =
 (* --- decide ---------------------------------------------------------- *)
 
 let decide_cmd =
-  let run file stats trace_json jobs =
+  let run file portfolio max_states max_depth json stats trace_json jobs =
     let p = or_die (load file) in
+    let open Chase_termination.Decider in
     let report =
       with_obs ~stats ~trace_json @@ fun () ->
       with_jobs jobs @@ fun pool ->
-      Chase_termination.Decider.decide ~pool (Chase_parser.Program.tgds p)
+      let tgds = Chase_parser.Program.tgds p in
+      if portfolio then
+        decide_portfolio ?sticky_max_states:max_states ?guarded_max_depth:max_depth ~pool tgds
+      else decide ?sticky_max_states:max_states ?guarded_max_depth:max_depth ~pool tgds
     in
-    Format.printf "%a@." Chase_termination.Decider.pp report;
-    match report.Chase_termination.Decider.answer with
-    | Chase_termination.Decider.Terminating -> exit 0
-    | Chase_termination.Decider.Non_terminating -> exit 1
-    | Chase_termination.Decider.Unknown -> exit 3
+    let answer_str = function
+      | Terminating -> "terminating"
+      | Non_terminating -> "non-terminating"
+      | Unknown -> "unknown"
+    in
+    if json then begin
+      let module J = Chase_serve.Json in
+      let procedures =
+        if report.procedures = [] then []
+        else
+          [
+            ( "procedures",
+              J.Arr
+                (List.map
+                   (fun pr ->
+                     J.Obj
+                       [
+                         ("name", J.Str (method_name pr.procedure));
+                         ("outcome", J.Str (answer_str pr.outcome));
+                         ("conclusive", J.Bool pr.conclusive);
+                         ("cancelled", J.Bool pr.cancelled);
+                         ("wall_ms", J.Float pr.wall_ms);
+                         ("note", J.Str pr.note);
+                       ])
+                   report.procedures) );
+          ]
+      in
+      print_endline
+        (J.to_string
+           (J.Obj
+              ([
+                 ("answer", J.Str (answer_str report.answer));
+                 ("method", J.Str (method_name report.method_used));
+                 ("detail", J.Str report.detail);
+               ]
+              @ procedures)))
+    end
+    else Format.printf "%a@." pp report;
+    match report.answer with
+    | Terminating -> exit 0
+    | Non_terminating -> exit 1
+    | Unknown -> exit 3
+  in
+  let portfolio_arg =
+    Arg.(
+      value & flag
+      & info [ "portfolio" ]
+          ~doc:
+            "Race every procedure valid for the classified class (weak/joint acyclicity, MFA, \
+             sticky B\xC3\xBCchi, guarded search); first conclusive answer wins.")
+  in
+  let max_states_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:"Sticky B\xC3\xBCchi state budget per component (default 50000).")
+  in
+  let max_depth_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-depth" ] ~docv:"D"
+          ~doc:"Guarded divergence-search depth budget (default 200).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the report as one JSON object.")
   in
   Cmd.v
     (Cmd.info "decide"
        ~doc:
          "Decide all-instances restricted chase termination (exit 0 = terminating, 1 = \
           non-terminating, 3 = unknown).")
-    Term.(const run $ file_arg $ stats_arg $ trace_json_arg $ jobs_arg)
+    Term.(
+      const run $ file_arg $ portfolio_arg $ max_states_arg $ max_depth_arg $ json_arg
+      $ stats_arg $ trace_json_arg $ jobs_arg)
 
 (* --- query ----------------------------------------------------------- *)
 
@@ -270,12 +338,14 @@ let automaton_cmd =
       (List.length comps);
     List.iter
       (fun ((e, cls), a) ->
-        let s = Chase_automata.Buchi.stats ~pool a in
+        (* one pass per component: emptiness and anatomy together *)
+        let verdict, s = Chase_automata.Buchi.emptiness_with_stats ~pool a in
         let verdict =
-          match Chase_automata.Buchi.emptiness ~pool a with
+          match verdict with
           | Chase_automata.Buchi.Empty -> "empty"
           | Chase_automata.Buchi.Nonempty _ -> "NONEMPTY"
           | Chase_automata.Buchi.Budget_exceeded _ -> "budget"
+          | Chase_automata.Buchi.Cancelled _ -> "cancelled"
         in
         Format.printf "  (e=%s, Π=class %d): %d states, %d transitions — %s@."
           (Chase_core.Equality_type.to_string e)
@@ -388,7 +458,8 @@ let msol_cmd =
 (* --- fuzz ------------------------------------------------------------ *)
 
 let fuzz_cmd =
-  let run cases seed profiles backends jobs no_shrink corpus_dir json stats trace_json =
+  let run cases seed profiles backends portfolio jobs no_shrink corpus_dir json stats trace_json
+      =
     let profiles =
       match profiles with
       | [] -> Chase_check.Profile.all
@@ -407,6 +478,7 @@ let fuzz_cmd =
         shrink = not no_shrink;
         corpus_dir;
         backends;
+        portfolio;
       }
     in
     let report =
@@ -458,6 +530,14 @@ let fuzz_cmd =
   let no_shrink_arg =
     Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report raw failing cases without delta-debugging.")
   in
+  let portfolio_arg =
+    Arg.(
+      value & flag
+      & info [ "portfolio" ]
+          ~doc:
+            "Add the portfolio-vs-fixed decider cross-exam and the subsumption-pruning \
+             cross-check to every case.")
+  in
   let corpus_arg =
     Arg.(
       value & opt (some string) None
@@ -473,8 +553,8 @@ let fuzz_cmd =
           cross-engine invariants; failures are delta-debugged to minimal repros (exit 1 on \
           any discrepancy).")
     Term.(
-      const run $ cases_arg $ seed_arg $ profile_arg $ fuzz_backend_arg $ jobs_arg
-      $ no_shrink_arg $ corpus_arg $ json_arg $ stats_arg $ trace_json_arg)
+      const run $ cases_arg $ seed_arg $ profile_arg $ fuzz_backend_arg $ portfolio_arg
+      $ jobs_arg $ no_shrink_arg $ corpus_arg $ json_arg $ stats_arg $ trace_json_arg)
 
 (* --- serve ----------------------------------------------------------- *)
 

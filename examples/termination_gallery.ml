@@ -40,10 +40,7 @@ let () =
         | Chase_termination.Decider.Unknown -> "unknown"
       in
       let meth =
-        match report.Chase_termination.Decider.method_used with
-        | Chase_termination.Decider.Sticky_buchi -> "sticky-Büchi"
-        | Chase_termination.Decider.Guarded_search -> "guarded-search"
-        | Chase_termination.Decider.Weak_acyclicity_check -> "weak-acyclicity"
+        Chase_termination.Decider.method_name report.Chase_termination.Decider.method_used
       in
       let d = Chase_engine.Restricted.run ~max_steps:400 tgds db in
       let chase =

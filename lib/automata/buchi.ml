@@ -12,6 +12,7 @@
    non-empty cycle word that can be pumped forever. *)
 
 module Exec = Chase_exec.Pool
+module Cancel = Chase_exec.Cancel
 
 type ('s, 'a) t = {
   initial : 's;
@@ -19,6 +20,11 @@ type ('s, 'a) t = {
   next : 's -> 'a -> 's option;  (* deterministic, partial *)
   accepting : 's -> bool;
   state_key : 's -> string;  (* injective encoding, used for hashing *)
+  (* Optional subsumption structure (group key, [subsumes existing
+     candidate]): a candidate state may be replaced by an
+     already-registered state of the same group that subsumes it.  Only
+     consulted when exploration is asked to prune (DESIGN.md §10). *)
+  subsumption : (('s -> string) * ('s -> 's -> bool)) option;
 }
 
 type 'a lasso = { prefix : 'a list; cycle : 'a list }
@@ -27,35 +33,73 @@ type 'a emptiness =
   | Empty
   | Nonempty of 'a lasso
   | Budget_exceeded of int  (* states explored when the budget ran out *)
+  | Cancelled of int  (* states explored when the cancel token fired *)
 
-type stats = { states : int; transitions : int }
+type stats = { states : int; transitions : int; pruned : int }
 
 let make ~initial ~alphabet ~next ~accepting ~state_key =
-  { initial; alphabet = Array.of_list alphabet; next; accepting; state_key }
+  {
+    initial;
+    alphabet = Array.of_list alphabet;
+    next;
+    accepting;
+    state_key;
+    subsumption = None;
+  }
+
+let with_subsumption ~key ~subsumes a = { a with subsumption = Some (key, subsumes) }
 
 let default_max_states = 200_000
 
-(* Explore the reachable graph; returns (states indexed 0.., edges as
-   (src, letter index, dst) lists per src) or None on budget.
+(* Exploration result: the reachable graph, or the point where the
+   budget or a cancellation stopped it.  Counts travel alongside so a
+   single pass yields both the graph and its stats. *)
+type 's graph = {
+  g_states : (int, 's) Hashtbl.t;
+  g_edges : (int, (int * int) list) Hashtbl.t;  (* src -> (letter, dst) *)
+  g_count : int;
+  g_transitions : int;
+  g_pruned : int;
+}
+
+type 's exploration =
+  | Complete of 's graph
+  | Truncated of stats  (* state budget exhausted *)
+  | Interrupted of stats  (* cancel token fired *)
+
+(* Explore the reachable graph.
 
    With a parallel pool the BFS is level-synchronized: the queue is
    drained into a frontier snapshot, every (state, letter) successor of
    the level is computed across domains ([next] must be pure — the
    sticky automaton's is), and the results are merged on the
    coordinating domain in exactly the sequential visit order (frontier
-   order × alphabet order), replaying the same [register] calls and the
-   same budget stop.  State numbering, edge lists, the explored count
-   and the Budget_exceeded point are therefore bit-identical to the
-   sequential exploration; speculative successors computed past a
-   budget stop are simply discarded. *)
-let explore ?(max_states = default_max_states) ?(pool = Exec.inline) a =
+   order × alphabet order), replaying the same [register] calls, the
+   same pruning decisions and the same budget stop.  State numbering,
+   edge lists, the explored count and the Budget_exceeded point are
+   therefore bit-identical to the sequential exploration; speculative
+   successors computed past a budget stop are simply discarded.
+
+   With [prune] and a subsumption structure on the automaton, a
+   candidate state subsumed by an already-registered state of the same
+   group is not registered; the edge is *redirected* to the subsuming
+   state (never dropped — dropping would hide accepting cycles).  See
+   DESIGN.md §10 for why Empty verdicts on the pruned graph are sound
+   and Nonempty witnesses must be re-validated. *)
+let explore ?(max_states = default_max_states) ?(pool = Exec.inline)
+    ?(cancel = Cancel.none) ?(prune = false) a =
   let index : (string, int) Hashtbl.t = Hashtbl.create 1024 in
   let states : (int, 's) Hashtbl.t = Hashtbl.create 1024 in
   let edges : (int, (int * int) list) Hashtbl.t = Hashtbl.create 1024 in
-  let count = ref 0 in
+  let count = ref 0 and transitions = ref 0 and pruned = ref 0 in
   let queue = Queue.create () in
-  let register s =
-    let key = a.state_key s in
+  let pruning = prune && a.subsumption <> None in
+  (* subsumption-group key -> registered state indices, newest first *)
+  let groups : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  (* pruned candidate key -> index it was redirected to (memo, and keeps
+     redirections deterministic across revisits) *)
+  let pruned_to : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let register s key =
     match Hashtbl.find_opt index key with
     | Some i -> i
     | None ->
@@ -65,9 +109,27 @@ let explore ?(max_states = default_max_states) ?(pool = Exec.inline) a =
         Hashtbl.add index key i;
         Hashtbl.add states i s;
         Queue.add i queue;
+        if pruning then begin
+          let gkey = (fst (Option.get a.subsumption)) s in
+          match Hashtbl.find_opt groups gkey with
+          | Some l -> l := i :: !l
+          | None -> Hashtbl.add groups gkey (ref [ i ])
+        end;
         i
   in
-  ignore (register a.initial);
+  let find_subsumer s key =
+    if not pruning then None
+    else
+      match Hashtbl.find_opt pruned_to key with
+      | Some j -> Some j
+      | None -> (
+          let gkey, subsumes = Option.get a.subsumption in
+          match Hashtbl.find_opt groups (gkey s) with
+          | None -> None
+          | Some l ->
+              List.find_opt (fun i -> subsumes (Hashtbl.find states i) s) !l)
+  in
+  ignore (register a.initial (a.state_key a.initial));
   let over = ref false in
   (* Merge one source state's successor images in alphabet order,
      mirroring the sequential inner loop byte for byte.  Images are lazy
@@ -80,37 +142,72 @@ let explore ?(max_states = default_max_states) ?(pool = Exec.inline) a =
         if not !over then
           match Lazy.force image with
           | None -> ()
-          | Some s' ->
-              if !count >= max_states && not (Hashtbl.mem index (a.state_key s')) then
-                over := true
-              else begin
-                Obs.incr "buchi.transitions";
-                let j = register s' in
-                outs := (li, j) :: !outs
-              end)
+          | Some s' -> (
+              let key = a.state_key s' in
+              match Hashtbl.find_opt index key with
+              | Some j ->
+                  Obs.incr "buchi.transitions";
+                  incr transitions;
+                  outs := (li, j) :: !outs
+              | None -> (
+                  match find_subsumer s' key with
+                  | Some j ->
+                      (* redirect, don't register *)
+                      Hashtbl.replace pruned_to key j;
+                      incr pruned;
+                      Obs.incr "buchi.pruned";
+                      Obs.incr "buchi.transitions";
+                      incr transitions;
+                      outs := (li, j) :: !outs
+                  | None ->
+                      if !count >= max_states then over := true
+                      else begin
+                        Obs.incr "buchi.transitions";
+                        incr transitions;
+                        let j = register s' key in
+                        outs := (li, j) :: !outs
+                      end)))
       images;
     Hashtbl.replace edges i !outs
   in
+  let interrupted = ref false in
   if not (Exec.is_parallel pool) then
-    while (not (Queue.is_empty queue)) && not !over do
-      let i = Queue.pop queue in
-      let s = Hashtbl.find states i in
-      merge_outs i (Array.map (fun letter -> lazy (a.next s letter)) a.alphabet)
+    while (not (Queue.is_empty queue)) && (not !over) && not !interrupted do
+      if Cancel.cancelled cancel then interrupted := true
+      else begin
+        let i = Queue.pop queue in
+        let s = Hashtbl.find states i in
+        merge_outs i (Array.map (fun letter -> lazy (a.next s letter)) a.alphabet)
+      end
     done
   else
-    while (not (Queue.is_empty queue)) && not !over do
-      let frontier = Array.of_seq (Queue.to_seq queue) in
-      Queue.clear queue;
-      let images =
-        Exec.map_array pool
-          (fun i ->
-            let s = Hashtbl.find states i in
-            Array.map (fun letter -> Lazy.from_val (a.next s letter)) a.alphabet)
-          frontier
-      in
-      Array.iteri (fun fi i -> if not !over then merge_outs i images.(fi)) frontier
+    while (not (Queue.is_empty queue)) && (not !over) && not !interrupted do
+      if Cancel.cancelled cancel then interrupted := true
+      else begin
+        let frontier = Array.of_seq (Queue.to_seq queue) in
+        Queue.clear queue;
+        let images =
+          Exec.map_array pool
+            (fun i ->
+              let s = Hashtbl.find states i in
+              Array.map (fun letter -> Lazy.from_val (a.next s letter)) a.alphabet)
+            frontier
+        in
+        Array.iteri (fun fi i -> if not !over then merge_outs i images.(fi)) frontier
+      end
     done;
-  if !over then Error !count else Ok (states, edges, !count)
+  let counts = { states = !count; transitions = !transitions; pruned = !pruned } in
+  if !interrupted then Interrupted counts
+  else if !over then Truncated counts
+  else
+    Complete
+      {
+        g_states = states;
+        g_edges = edges;
+        g_count = !count;
+        g_transitions = !transitions;
+        g_pruned = !pruned;
+      }
 
 (* Tarjan SCC over an explicit int graph. *)
 let sccs n succ =
@@ -167,111 +264,12 @@ let sccs n succ =
   done;
   (comp, !ncomp)
 
-let emptiness ?max_states ?pool a =
-  Obs.span "buchi.emptiness" @@ fun () ->
-  match explore ?max_states ?pool a with
-  | Error n -> Budget_exceeded n
-  | Ok (states, edges, n) ->
-      let succ i = List.map snd (Option.value ~default:[] (Hashtbl.find_opt edges i)) in
-      let comp, _ = sccs n succ in
-      (* An SCC is "good" when it contains an accepting state and has an
-         internal edge (covers the self-loop case too). *)
-      let has_internal_edge = Hashtbl.create 16 in
-      Hashtbl.iter
-        (fun i outs ->
-          List.iter
-            (fun (_, j) -> if comp.(i) = comp.(j) then Hashtbl.replace has_internal_edge comp.(i) ())
-            outs)
-        edges;
-      let target = ref None in
-      for i = 0 to n - 1 do
-        if
-          !target = None
-          && a.accepting (Hashtbl.find states i)
-          && Hashtbl.mem has_internal_edge comp.(i)
-        then target := Some i
-      done;
-      (match !target with
-      | None -> Empty
-      | Some acc ->
-          (* BFS path from 0 (initial) to acc, then a cycle from acc to
-             acc staying inside its SCC. *)
-          let bfs ~restrict src dst =
-            let prev = Hashtbl.create 64 in
-            let visited = Hashtbl.create 64 in
-            Hashtbl.add visited src ();
-            let q = Queue.create () in
-            Queue.add src q;
-            let found = ref false in
-            while (not (Queue.is_empty q)) && not !found do
-              let i = Queue.pop q in
-              List.iter
-                (fun (li, j) ->
-                  if
-                    (not (Hashtbl.mem visited j))
-                    && (not (restrict && comp.(j) <> comp.(dst)))
-                  then begin
-                    Hashtbl.add visited j ();
-                    Hashtbl.add prev j (i, li);
-                    if j = dst then found := true else Queue.add j q
-                  end)
-                (Option.value ~default:[] (Hashtbl.find_opt edges i))
-            done;
-            if (not !found) && src <> dst then None
-            else begin
-              (* reconstruct *)
-              let rec build j acc =
-                if j = src && acc <> [] then acc
-                else
-                  match Hashtbl.find_opt prev j with
-                  | Some (i, li) -> build i (a.alphabet.(li) :: acc)
-                  | None -> acc
-              in
-              Some (build dst [])
-            end
-          in
-          (* Cycle: one step out of acc inside the SCC, then back. *)
-          let cycle =
-            let outs = Option.value ~default:[] (Hashtbl.find_opt edges acc) in
-            List.find_map
-              (fun (li, j) ->
-                if comp.(j) <> comp.(acc) then None
-                else if j = acc then Some [ a.alphabet.(li) ]
-                else
-                  match bfs ~restrict:true j acc with
-                  | Some w -> Some (a.alphabet.(li) :: w)
-                  | None -> None)
-              outs
-          in
-          let prefix = if acc = 0 then Some [] else bfs ~restrict:false 0 acc in
-          (match (prefix, cycle) with
-          | Some p, Some c ->
-              if Obs.enabled () then
-                Obs.event "lasso"
-                  [
-                    ("prefix", Obs.Int (List.length p)); ("cycle", Obs.Int (List.length c));
-                    ("states", Obs.Int n);
-                  ];
-              Nonempty { prefix = p; cycle = c }
-          | _ -> Empty (* unreachable: acc was picked reachable in a good SCC *)))
-
-let is_empty ?max_states ?pool a =
-  match emptiness ?max_states ?pool a with
-  | Empty -> true
-  | Nonempty _ -> false
-  | Budget_exceeded n -> invalid_arg (Printf.sprintf "Buchi.is_empty: budget at %d states" n)
-
-let stats ?max_states ?pool a =
-  match explore ?max_states ?pool a with
-  | Error n -> { states = n; transitions = 0 }
-  | Ok (_, edges, n) ->
-      let transitions = Hashtbl.fold (fun _ outs acc -> acc + List.length outs) edges 0 in
-      { states = n; transitions }
-
 (* Run the automaton on a lasso, checking that it accepts: the run must
    reach the cycle start, traverse the cycle back to the same state, and
    see an accepting state within the cycle.  Used to validate witnesses
-   (certificate checking). *)
+   (certificate checking), and to re-validate lassos found on a
+   subsumption-pruned graph whose redirected edges need not correspond
+   to real runs. *)
 let accepts_lasso a { prefix; cycle } =
   if cycle = [] then false
   else
@@ -295,3 +293,137 @@ let accepts_lasso a { prefix; cycle } =
               | Some s' -> go s' rest (seen_acc || a.accepting s'))
         in
         go s0 cycle (a.accepting s0))
+
+(* Lasso extraction from an explored graph with a chosen accepting state
+   [acc] inside an SCC with an internal edge. *)
+let extract_lasso a g comp acc =
+  let edges = g.g_edges in
+  (* BFS path from 0 (initial) to acc, then a cycle from acc to acc
+     staying inside its SCC. *)
+  let bfs ~restrict src dst =
+    let prev = Hashtbl.create 64 in
+    let visited = Hashtbl.create 64 in
+    Hashtbl.add visited src ();
+    let q = Queue.create () in
+    Queue.add src q;
+    let found = ref false in
+    while (not (Queue.is_empty q)) && not !found do
+      let i = Queue.pop q in
+      List.iter
+        (fun (li, j) ->
+          if
+            (not (Hashtbl.mem visited j))
+            && (not (restrict && comp.(j) <> comp.(dst)))
+          then begin
+            Hashtbl.add visited j ();
+            Hashtbl.add prev j (i, li);
+            if j = dst then found := true else Queue.add j q
+          end)
+        (Option.value ~default:[] (Hashtbl.find_opt edges i))
+    done;
+    if (not !found) && src <> dst then None
+    else begin
+      (* reconstruct *)
+      let rec build j acc' =
+        if j = src && acc' <> [] then acc'
+        else
+          match Hashtbl.find_opt prev j with
+          | Some (i, li) -> build i (a.alphabet.(li) :: acc')
+          | None -> acc'
+      in
+      Some (build dst [])
+    end
+  in
+  (* Cycle: one step out of acc inside the SCC, then back. *)
+  let cycle =
+    let outs = Option.value ~default:[] (Hashtbl.find_opt edges acc) in
+    List.find_map
+      (fun (li, j) ->
+        if comp.(j) <> comp.(acc) then None
+        else if j = acc then Some [ a.alphabet.(li) ]
+        else
+          match bfs ~restrict:true j acc with
+          | Some w -> Some (a.alphabet.(li) :: w)
+          | None -> None)
+      outs
+  in
+  let prefix = if acc = 0 then Some [] else bfs ~restrict:false 0 acc in
+  match (prefix, cycle) with
+  | Some p, Some c -> Some { prefix = p; cycle = c }
+  | _ -> None (* unreachable: acc was picked reachable in a good SCC *)
+
+let analyse a g =
+  let n = g.g_count in
+  let succ i = List.map snd (Option.value ~default:[] (Hashtbl.find_opt g.g_edges i)) in
+  let comp, _ = sccs n succ in
+  (* An SCC is "good" when it contains an accepting state and has an
+     internal edge (covers the self-loop case too). *)
+  let has_internal_edge = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun i outs ->
+      List.iter
+        (fun (_, j) -> if comp.(i) = comp.(j) then Hashtbl.replace has_internal_edge comp.(i) ())
+        outs)
+    g.g_edges;
+  let target = ref None in
+  for i = 0 to n - 1 do
+    if
+      !target = None
+      && a.accepting (Hashtbl.find g.g_states i)
+      && Hashtbl.mem has_internal_edge comp.(i)
+    then target := Some i
+  done;
+  match !target with
+  | None -> Empty
+  | Some acc -> (
+      match extract_lasso a g comp acc with
+      | Some ({ prefix; cycle } as lasso) ->
+          if Obs.enabled () then
+            Obs.event "lasso"
+              [
+                ("prefix", Obs.Int (List.length prefix));
+                ("cycle", Obs.Int (List.length cycle));
+                ("states", Obs.Int n);
+              ];
+          Nonempty lasso
+      | None -> Empty (* unreachable: acc was picked reachable in a good SCC *))
+
+(* Emptiness and exploration stats from one pass.  On a pruned graph an
+   Empty verdict is sound as-is; a Nonempty witness may ride redirected
+   edges, so it is validated against the real transition function and,
+   when invalid, the search reruns without pruning (DESIGN.md §10). *)
+let rec emptiness_with_stats ?max_states ?pool ?cancel ?(prune = false) a =
+  Obs.span "buchi.emptiness" @@ fun () ->
+  match explore ?max_states ?pool ?cancel ~prune a with
+  | Truncated c -> (Budget_exceeded c.states, c)
+  | Interrupted c -> (Cancelled c.states, c)
+  | Complete g -> (
+      let counts = { states = g.g_count; transitions = g.g_transitions; pruned = g.g_pruned } in
+      match analyse a g with
+      | Nonempty lasso when g.g_pruned > 0 && not (accepts_lasso a lasso) ->
+          (* The witness used redirected edges and is not a real run:
+             fall back to the exact graph. *)
+          Obs.incr "buchi.prune.fallback";
+          emptiness_with_stats ?max_states ?pool ?cancel ~prune:false a
+      | verdict -> (verdict, counts))
+
+let emptiness ?max_states ?pool ?cancel ?prune a =
+  fst (emptiness_with_stats ?max_states ?pool ?cancel ?prune a)
+
+let is_empty_opt ?max_states ?pool a =
+  match emptiness ?max_states ?pool a with
+  | Empty -> Some true
+  | Nonempty _ -> Some false
+  | Budget_exceeded _ | Cancelled _ -> None
+
+let is_empty ?max_states ?pool a =
+  match emptiness ?max_states ?pool a with
+  | Empty -> true
+  | Nonempty _ -> false
+  | Budget_exceeded n -> invalid_arg (Printf.sprintf "Buchi.is_empty: budget at %d states" n)
+  | Cancelled n -> invalid_arg (Printf.sprintf "Buchi.is_empty: cancelled at %d states" n)
+
+let stats ?max_states ?pool ?(prune = false) a =
+  match explore ?max_states ?pool ~prune a with
+  | Truncated c | Interrupted c -> c
+  | Complete g -> { states = g.g_count; transitions = g.g_transitions; pruned = g.g_pruned }

@@ -12,8 +12,13 @@ type 'a emptiness =
   | Empty
   | Nonempty of 'a lasso
   | Budget_exceeded of int  (** states explored when the budget ran out *)
+  | Cancelled of int  (** states explored when the cancel token fired *)
 
-type stats = { states : int; transitions : int }
+type stats = {
+  states : int;
+  transitions : int;
+  pruned : int;  (** candidates redirected to a subsuming state *)
+}
 
 (** [next s a = None] is the implicit reject sink; [state_key] must be an
     injective encoding of states (used for hashing). *)
@@ -25,25 +30,70 @@ val make :
   state_key:('s -> string) ->
   ('s, 'a) t
 
+(** Attach a subsumption structure used by pruned exploration: [key]
+    groups comparable states (candidates are only compared within a
+    group), and [subsumes existing candidate] must imply that every word
+    accepted from [candidate] is accepted from [existing] (language
+    inclusion, DESIGN.md §10).  Inert unless [~prune:true] is passed to
+    {!emptiness} / {!emptiness_with_stats} / {!stats}. *)
+val with_subsumption :
+  key:('s -> string) -> subsumes:('s -> 's -> bool) -> ('s, 'a) t -> ('s, 'a) t
+
 val default_max_states : int
 
-(** Decide L(A) = ∅ by reachable-SCC analysis; a [Nonempty] answer
-    carries a lasso witness.
+(** Decide L(A) = ∅ and report exploration stats from the same single
+    pass over the reachable graph.
 
     [pool] (default: inline) parallelizes the state-space exploration
     with a level-synchronized BFS whose discoveries are merged in the
     sequential visit order — the reachable state set, its numbering and
     the budget behaviour are bit-identical to the sequential search.
     Supplying a parallel pool requires [next] to be pure (no shared
-    mutable state), since it then runs on worker domains. *)
-val emptiness : ?max_states:int -> ?pool:Chase_exec.Pool.t -> ('s, 'a) t -> 'a emptiness
+    mutable state), since it then runs on worker domains.
 
-(** @raise Invalid_argument when the state budget is exceeded. *)
+    [cancel] (default: {!Chase_exec.Cancel.none}) is polled between
+    frontier expansions; a fired token yields [Cancelled].
+
+    [prune] (default: [false]) enables subsumption pruning when the
+    automaton carries a {!with_subsumption} structure: a candidate state
+    subsumed by a registered state of the same group is not explored and
+    its incoming edge is redirected to the subsumer.  An [Empty] verdict
+    on the pruned graph is sound; a [Nonempty] witness is re-validated
+    with {!accepts_lasso} and, if it rode redirected edges, the search
+    transparently reruns unpruned.  Pruning decisions replay identically
+    across pool sizes, so results stay deterministic. *)
+val emptiness_with_stats :
+  ?max_states:int ->
+  ?pool:Chase_exec.Pool.t ->
+  ?cancel:Chase_exec.Cancel.t ->
+  ?prune:bool ->
+  ('s, 'a) t ->
+  'a emptiness * stats
+
+(** [fst] of {!emptiness_with_stats}; a [Nonempty] answer carries a
+    lasso witness. *)
+val emptiness :
+  ?max_states:int ->
+  ?pool:Chase_exec.Pool.t ->
+  ?cancel:Chase_exec.Cancel.t ->
+  ?prune:bool ->
+  ('s, 'a) t ->
+  'a emptiness
+
+(** Budget-total emptiness: [None] when the verdict is [Budget_exceeded]
+    (or [Cancelled]) rather than an exception.  Prefer this anywhere a
+    budget overrun must degrade to "unknown" instead of escaping. *)
+val is_empty_opt : ?max_states:int -> ?pool:Chase_exec.Pool.t -> ('s, 'a) t -> bool option
+
+(** @raise Invalid_argument when the state budget is exceeded (use
+    {!is_empty_opt} or {!emptiness} where budgets are expected). *)
 val is_empty : ?max_states:int -> ?pool:Chase_exec.Pool.t -> ('s, 'a) t -> bool
 
 (** Size of the reachable automaton (same [pool] contract as
-    {!emptiness}). *)
-val stats : ?max_states:int -> ?pool:Chase_exec.Pool.t -> ('s, 'a) t -> stats
+    {!emptiness_with_stats}); on budget overrun, the counts at the stop
+    point. *)
+val stats :
+  ?max_states:int -> ?pool:Chase_exec.Pool.t -> ?prune:bool -> ('s, 'a) t -> stats
 
 (** Validate a lasso witness by running the automaton over it. *)
 val accepts_lasso : ('s, 'a) t -> 'a lasso -> bool

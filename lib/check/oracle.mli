@@ -32,12 +32,21 @@
       on a model of the accumulated facts that is hom-equivalent to
       the from-scratch chase (both are universal models of the same
       database) — replayed over both store backends.
-    - [decider-crash] — [Decider.decide] must not raise.
-    - [decider-wa] — weak acyclicity refutes a [Non_terminating] answer.
+    - [decider-crash] — [Decider.decide] (and, in portfolio mode,
+      [Decider.decide_portfolio]) must not raise.
+    - [decider-wa] — weak acyclicity refutes a [Non_terminating] answer
+      (fixed and portfolio reports alike).
     - [decider-termination] — a [Terminating] answer contradicted by
       divergence evidence from the exhaustive derivation search (only
       attempted on small cases, with a depth budget well beyond the
-      observed derivation lengths).
+      observed derivation lengths; fixed and portfolio reports alike).
+    - [decider-portfolio] — ([portfolio] mode) the raced portfolio must
+      agree with the fixed dispatch: never the opposite conclusive
+      answer, and never inconclusive where the fixed dispatch — whose
+      procedures the portfolio supersets under the same budgets — was
+      conclusive.
+    - [sticky-prune] — ([portfolio] mode) subsumption pruning must not
+      change the sticky verdict (DESIGN.md §10).
     - [engine-crash] — any engine raising an exception. *)
 
 open Chase_core
@@ -63,11 +72,14 @@ val all_store_backends : Chase_engine.Store.backend list
     parallel-vs-sequential agreement when it is an actual pool.
     [backends] (default: {!all_store_backends}) selects the store
     backends compared against the naive reference — restricted,
-    oblivious, jobs-agreement and incremental sections all honour it. *)
+    oblivious, jobs-agreement and incremental sections all honour it.
+    [portfolio] (default: [false]) adds the portfolio-vs-fixed decider
+    cross-exam and the subsumption-pruning cross-check. *)
 val check :
   ?pool:Chase_exec.Pool.t ->
   ?budgets:budgets ->
   ?backends:Chase_engine.Store.backend list ->
+  ?portfolio:bool ->
   Tgd.t list ->
   Instance.t ->
   discrepancy list

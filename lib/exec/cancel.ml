@@ -1,0 +1,20 @@
+(* Cooperative cancellation: a shared flag that long-running searches
+   poll at loop boundaries.  Purely advisory — setting it never
+   interrupts anything; the holder of the token decides where bailing
+   out is sound (between Büchi frontier states, between candidate
+   databases, every few chase steps).  [none] is the permanently-unset
+   token, so every cancellable entry point can take a token
+   unconditionally and stay allocation-free on the common path. *)
+
+type t = Never | Token of bool Atomic.t
+
+let none = Never
+let create () = Token (Atomic.make false)
+
+let cancel = function
+  | Never -> ()
+  | Token flag -> Atomic.set flag true
+
+let cancelled = function
+  | Never -> false
+  | Token flag -> Atomic.get flag

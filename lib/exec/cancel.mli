@@ -1,0 +1,27 @@
+(** Cooperative cancellation tokens for racing long-running searches.
+
+    A token is a shared atomic flag: one task sets it ({!cancel}) when
+    its answer makes the others' work moot, and the others poll it
+    ({!cancelled}) at safe loop boundaries — between Büchi frontier
+    expansions, between candidate databases, every few chase steps —
+    and bail out with an inconclusive result.  Cancellation is purely
+    cooperative: nothing is interrupted, and a task that never polls
+    simply runs to completion.
+
+    Tokens are domain-safe (an [Atomic.t] underneath), so the decider
+    portfolio can share one token across racers running on
+    {!Chase_exec.Pool} worker domains. *)
+
+type t
+
+(** The permanently-unset token: {!cancelled} is always [false] and
+    {!cancel} is a no-op.  The default everywhere, keeping the
+    non-racing paths branch-cheap. *)
+val none : t
+
+val create : unit -> t
+
+(** Set the flag.  Idempotent; never blocks. *)
+val cancel : t -> unit
+
+val cancelled : t -> bool

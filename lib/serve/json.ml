@@ -277,3 +277,5 @@ let to_float_opt = function
   | Some (Float f) -> Some f
   | Some (Int i) -> Some (float_of_int i)
   | _ -> None
+
+let to_bool_opt = function Some (Bool b) -> Some b | _ -> None

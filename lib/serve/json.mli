@@ -29,3 +29,4 @@ val member : string -> t -> t option
 val to_str_opt : t option -> string option
 val to_int_opt : t option -> int option
 val to_float_opt : t option -> float option
+val to_bool_opt : t option -> bool option

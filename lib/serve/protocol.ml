@@ -24,7 +24,12 @@ type t =
   | Chase of { session : string; max_steps : int option }
   | Query of { session : string; query : string }
   | Classify of { session : string }
-  | Decide of { session : string }
+  | Decide of {
+      session : string;
+      portfolio : bool;  (* race all valid procedures instead of fixed dispatch *)
+      max_states : int option;  (* sticky Büchi state budget, per component *)
+      max_depth : int option;  (* guarded divergence-search depth budget *)
+    }
   | Stats of { session : string }
   | Close of { session : string }
 
@@ -55,7 +60,7 @@ let session_of = function
   | Chase { session; _ }
   | Query { session; _ }
   | Classify { session }
-  | Decide { session }
+  | Decide { session; _ }
   | Stats { session }
   | Close { session } -> session
 
@@ -122,7 +127,16 @@ let of_json json =
           Ok (Chase { session; max_steps = Json.to_int_opt (Json.member "max_steps" json) })
       | Some "query" -> required "query" (fun query -> Ok (Query { session; query }))
       | Some "classify" -> Ok (Classify { session })
-      | Some "decide" -> Ok (Decide { session })
+      | Some "decide" ->
+          Ok
+            (Decide
+               {
+                 session;
+                 portfolio =
+                   Option.value ~default:false (Json.to_bool_opt (Json.member "portfolio" json));
+                 max_states = Json.to_int_opt (Json.member "max_states" json);
+                 max_depth = Json.to_int_opt (Json.member "max_depth" json);
+               })
       | Some "stats" -> Ok (Stats { session })
       | Some "close" -> Ok (Close { session })
       | Some op ->

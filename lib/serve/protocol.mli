@@ -28,7 +28,18 @@ type t =
   | Chase of { session : string; max_steps : int option }
   | Query of { session : string; query : string }
   | Classify of { session : string }
-  | Decide of { session : string }
+  | Decide of {
+      session : string;
+      portfolio : bool;
+          (** race all procedures valid for the class instead of the
+              fixed dispatch (optional ["portfolio"] field) *)
+      max_states : int option;
+          (** sticky Büchi state budget per component (["max_states"]);
+              [None] inherits the decider default *)
+      max_depth : int option;
+          (** guarded divergence-search depth budget (["max_depth"]);
+              [None] inherits the decider default *)
+    }
   | Stats of { session : string }
   | Close of { session : string }
 

@@ -220,29 +220,49 @@ let handle_classify t ~session =
     ("jointly_acyclic", Json.Bool r.jointly_acyclic);
   ]
 
-let handle_decide t ~session =
+let handle_decide t ~session ~portfolio ~max_states ~max_depth =
   let s = find_session t session in
+  let open Chase_termination.Decider in
   let report =
     Session.with_obs s (fun () ->
-        Chase_termination.Decider.decide ~pool:t.epool
-          (Chase_engine.Incremental.tgds (Session.incremental s)))
+        let tgds = Chase_engine.Incremental.tgds (Session.incremental s) in
+        (* Budget overruns surface as Unknown answers (the deciders
+           return Inconclusive / No_divergence_found), never as
+           exceptions escaping the session. *)
+        if portfolio then
+          decide_portfolio ?sticky_max_states:max_states ?guarded_max_depth:max_depth
+            ~pool:t.epool tgds
+        else decide ?sticky_max_states:max_states ?guarded_max_depth:max_depth ~pool:t.epool tgds)
   in
-  let open Chase_termination.Decider in
+  let answer_str = function
+    | Terminating -> "terminating"
+    | Non_terminating -> "non-terminating"
+    | Unknown -> "unknown"
+  in
   [
-    ( "answer",
-      Json.Str
-        (match report.answer with
-        | Terminating -> "terminating"
-        | Non_terminating -> "non-terminating"
-        | Unknown -> "unknown") );
-    ( "method",
-      Json.Str
-        (match report.method_used with
-        | Sticky_buchi -> "sticky-buchi"
-        | Guarded_search -> "guarded-search"
-        | Weak_acyclicity_check -> "weak-acyclicity") );
+    ("answer", Json.Str (answer_str report.answer));
+    ("method", Json.Str (method_name report.method_used));
     ("detail", Json.Str report.detail);
   ]
+  @
+  if report.procedures = [] then []
+  else
+    [
+      ( "procedures",
+        Json.Arr
+          (List.map
+             (fun p ->
+               Json.Obj
+                 [
+                   ("name", Json.Str (method_name p.procedure));
+                   ("outcome", Json.Str (answer_str p.outcome));
+                   ("conclusive", Json.Bool p.conclusive);
+                   ("cancelled", Json.Bool p.cancelled);
+                   ("wall_ms", Json.Float p.wall_ms);
+                   ("note", Json.Str p.note);
+                 ])
+             report.procedures) );
+    ]
 
 let handle_stats t ~session =
   let s = find_session t session in
@@ -303,7 +323,8 @@ let handle t req =
   | P.Chase { session; max_steps } -> handle_chase t ~session ~max_steps
   | P.Query { session; query } -> handle_query t ~session ~query
   | P.Classify { session } -> handle_classify t ~session
-  | P.Decide { session } -> handle_decide t ~session
+  | P.Decide { session; portfolio; max_states; max_depth } ->
+      handle_decide t ~session ~portfolio ~max_states ~max_depth
   | P.Stats { session } -> handle_stats t ~session
   | P.Close { session } -> handle_close t ~session
 

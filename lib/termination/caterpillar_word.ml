@@ -77,7 +77,7 @@ let start_pair (cat : Caterpillar.t) =
    must be the equality type of the concrete body atom.  This ties the
    App. D.2 automaton to the §6.1 objects. *)
 let check_against_automaton ?start ctx (cat : Caterpillar.t) =
-  let* word = encode (Array.to_list ctx.Sticky_automaton.tgds) cat in
+  let* word = encode (Array.to_list (Sticky_automaton.tgds ctx)) cat in
   let e0, cls = match start with Some p -> p | None -> start_pair cat in
   let rec go state letters (steps : Caterpillar.step list) k =
     match (letters, steps) with

@@ -3,10 +3,18 @@
      sticky  → the Büchi-automaton procedure (sound and complete, §6);
      guarded → weak acyclicity + certificate search (§5; see DESIGN.md
                for the substitution of the MSOL step);
-     else    → weak acyclicity only (sound for "terminating").        *)
+     else    → weak acyclicity only (sound for "terminating").
+
+   [decide_portfolio] instead races every procedure that is sound for
+   the classified class — weak acyclicity, joint acyclicity, MFA, the
+   sticky Büchi procedure and the guarded divergence search — as
+   cooperatively-cancellable tasks, first conclusive answer wins
+   (DESIGN.md §10). *)
 
 open Chase_core
 open Chase_classes
+module Exec = Chase_exec.Pool
+module Cancel = Chase_exec.Cancel
 
 type answer =
   | Terminating  (* T ∈ CTres∀∀ *)
@@ -17,13 +25,34 @@ type method_used =
   | Sticky_buchi  (* Theorem 6.1 *)
   | Guarded_search  (* Theorem 5.1 machinery, certificate search *)
   | Weak_acyclicity_check  (* baseline sufficient condition *)
+  | Joint_acyclicity_check  (* sufficient condition, subsumes WA *)
+  | Mfa_check  (* model-faithful acyclicity, subsumes JA *)
+  | Portfolio  (* raced portfolio; no single procedure was conclusive *)
+
+type procedure_report = {
+  procedure : method_used;
+  outcome : answer;
+  conclusive : bool;
+  cancelled : bool;  (* lost the race and was stopped (or never started) *)
+  wall_ms : float;
+  note : string;
+}
 
 type report = {
   classification : Classification.report;
   answer : answer;
   method_used : method_used;
   detail : string;
+  procedures : procedure_report list;  (* per-racer outcomes; [] in fixed dispatch *)
 }
+
+let method_name = function
+  | Sticky_buchi -> "sticky-buchi"
+  | Guarded_search -> "guarded-search"
+  | Weak_acyclicity_check -> "weak-acyclicity"
+  | Joint_acyclicity_check -> "joint-acyclicity"
+  | Mfa_check -> "mfa"
+  | Portfolio -> "portfolio"
 
 let decide ?(sticky_max_states = 50_000) ?(guarded_max_depth = 200) ?pool tgds =
   let classification = Classification.classify tgds in
@@ -46,7 +75,7 @@ let decide ?(sticky_max_states = 50_000) ?(guarded_max_depth = 200) ?pool tgds =
               (List.length cert.Sticky_decider.lasso.Chase_automata.Buchi.cycle) )
       | Sticky_decider.Inconclusive m -> (Unknown, m)
     in
-    { classification; answer; method_used = Sticky_buchi; detail }
+    { classification; answer; method_used = Sticky_buchi; detail; procedures = [] }
   else if
     constant_free && classification.Classification.single_head
     && classification.Classification.guarded
@@ -70,7 +99,7 @@ let decide ?(sticky_max_states = 50_000) ?(guarded_max_depth = 200) ?pool tgds =
             Printf.sprintf "no divergence among %d candidate databases"
               r.Guarded_decider.candidates )
     in
-    { classification; answer; method_used = Guarded_search; detail }
+    { classification; answer; method_used = Guarded_search; detail; procedures = [] }
   else
     let wa = classification.Classification.weakly_acyclic in
     {
@@ -83,18 +112,202 @@ let decide ?(sticky_max_states = 50_000) ?(guarded_max_depth = 200) ?pool tgds =
            "mentions constants (outside the paper's constant-free procedures); not weakly \
             acyclic"
          else "outside the decidable classes implemented");
+      procedures = [];
     }
+
+(* --- the portfolio ---------------------------------------------------
+
+   Soundness lattice (DESIGN.md §10): WA, JA and MFA are sufficient
+   conditions valid for every TGD set (MFA only in the constant-free
+   setting our critical database covers), so their only conclusive
+   answer is Terminating.  The sticky procedure is sound and complete
+   on constant-free single-head sticky sets (both answers conclusive);
+   the guarded divergence search produces validated non-termination
+   certificates on constant-free single-head guarded sets (only
+   Non_terminating is conclusive).  Every racer below is only entered
+   when its validity precondition holds, so any conclusive answer is
+   correct and the first one can win the race. *)
+
+let portfolio_procedures classification ~constant_free =
+  let cls_ok =
+    constant_free && classification.Classification.single_head
+  in
+  [ Some Weak_acyclicity_check; Some Joint_acyclicity_check ]
+  @ [ (if constant_free then Some Mfa_check else None) ]
+  @ [ (if cls_ok && classification.Classification.sticky then Some Sticky_buchi else None) ]
+  @ [ (if cls_ok && classification.Classification.guarded then Some Guarded_search else None) ]
+  |> List.filter_map Fun.id
+
+let run_procedure ~cancel ~sticky_max_states ~guarded_max_depth ~prune tgds = function
+  | Weak_acyclicity_check ->
+      if Weak_acyclicity.is_weakly_acyclic tgds then (Terminating, "weakly acyclic")
+      else (Unknown, "not weakly acyclic")
+  | Joint_acyclicity_check ->
+      if Joint_acyclicity.is_jointly_acyclic tgds then (Terminating, "jointly acyclic")
+      else (Unknown, "not jointly acyclic")
+  | Mfa_check -> (
+      match Mfa.decide ~cancel tgds with
+      | Mfa.Mfa { atoms } ->
+          (Terminating, Printf.sprintf "model-faithful acyclic (%d atoms)" atoms)
+      | Mfa.Cyclic_term { var; _ } ->
+          (Unknown, Printf.sprintf "cyclic skolem term on %s (not MFA)" var)
+      | Mfa.Budget { atoms } ->
+          (Unknown, Printf.sprintf "MFA budget exhausted (%d atoms)" atoms))
+  | Sticky_buchi -> (
+      (* Racers run their inner exploration inline: nesting a
+         [map_array] inside a pool task would deadlock the pool (the
+         racer already owns a worker slot). *)
+      match Sticky_decider.decide ~max_states:sticky_max_states ~cancel ~prune tgds with
+      | Sticky_decider.All_terminating -> (Terminating, "L(A_T) = ∅")
+      | Sticky_decider.Non_terminating cert ->
+          ( Non_terminating,
+            Printf.sprintf "caterpillar lasso found (prefix %d, cycle %d)"
+              (List.length cert.Sticky_decider.lasso.Chase_automata.Buchi.prefix)
+              (List.length cert.Sticky_decider.lasso.Chase_automata.Buchi.cycle) )
+      | Sticky_decider.Inconclusive m -> (Unknown, m))
+  | Guarded_search -> (
+      match Guarded_decider.search_divergence ~max_depth:guarded_max_depth ~cancel tgds with
+      | Guarded_decider.Terminating _ -> (Terminating, "acyclicity ladder")  (* unreachable *)
+      | Guarded_decider.Non_terminating ev ->
+          ( Non_terminating,
+            Printf.sprintf "diverging database found (%d atoms, acyclic: %b, chaseable AJT: %b)"
+              (Instance.cardinal ev.Guarded_decider.database)
+              ev.Guarded_decider.acyclic ev.Guarded_decider.chaseable )
+      | Guarded_decider.No_divergence_found r ->
+          ( Unknown,
+            Printf.sprintf "no divergence among %d candidate databases"
+              r.Guarded_decider.candidates ))
+  | Portfolio -> (Unknown, "not a procedure")
+
+let decide_portfolio ?(sticky_max_states = 50_000) ?(guarded_max_depth = 200)
+    ?(prune = true) ?(pool = Exec.inline) tgds =
+  Obs.span "decider.portfolio" @@ fun () ->
+  let classification = Classification.classify tgds in
+  let constant_free = Tgd.constant_free_set tgds in
+  let procs = portfolio_procedures classification ~constant_free in
+  let cancel = Cancel.create () in
+  let run p =
+    let started = Obs.now () in
+    if Cancel.cancelled cancel then
+      {
+        procedure = p;
+        outcome = Unknown;
+        conclusive = false;
+        cancelled = true;
+        wall_ms = 0.;
+        note = "cancelled before start";
+      }
+    else begin
+      let outcome, note =
+        try run_procedure ~cancel ~sticky_max_states ~guarded_max_depth ~prune tgds p
+        with e -> (Unknown, "raised: " ^ Printexc.to_string e)
+      in
+      let conclusive = match outcome with Unknown -> false | _ -> true in
+      (* First conclusive answer stops the other racers; conclusive
+         answers never disagree (each racer is sound for this class), so
+         which one physically finishes first cannot change the answer —
+         only the reported winner. *)
+      if conclusive then Cancel.cancel cancel;
+      {
+        procedure = p;
+        outcome;
+        conclusive;
+        cancelled = (not conclusive) && Cancel.cancelled cancel;
+        wall_ms = (Obs.now () -. started) *. 1000.;
+        note;
+      }
+    end
+  in
+  (* Parallel pool: racers are claimed one per chunk and genuinely race,
+     polling the shared token.  Inline pool: the racers run in priority
+     order and the token turns into an early exit after the first
+     conclusive answer. *)
+  let results =
+    if Exec.is_parallel pool then
+      Array.to_list (Exec.map_array ~chunk:1 pool run (Array.of_list procs))
+    else List.map run procs
+  in
+  (* The winner is folded in the fixed priority order of [procs], not
+     arrival order, so the reported method is deterministic even when
+     the physical race is not. *)
+  let winner = List.find_opt (fun r -> r.conclusive) results in
+  if Obs.enabled () then
+    List.iter
+      (fun r ->
+        Obs.event "portfolio.procedure"
+          [
+            ("name", Obs.Str (method_name r.procedure));
+            ( "outcome",
+              Obs.Str
+                (match r.outcome with
+                | Terminating -> "terminating"
+                | Non_terminating -> "non-terminating"
+                | Unknown -> "unknown") );
+            ("conclusive", Obs.Bool r.conclusive);
+            ("cancelled", Obs.Bool r.cancelled);
+            ("wall_ms", Obs.Float r.wall_ms);
+          ])
+      results;
+  match winner with
+  | Some w ->
+      (* Sanity: all conclusive racers must agree (soundness lattice). *)
+      let disagreeing =
+        List.filter (fun r -> r.conclusive && r.outcome <> w.outcome) results
+      in
+      if disagreeing <> [] then
+        Obs.event "portfolio.disagreement"
+          [
+            ("winner", Obs.Str (method_name w.procedure));
+            ( "dissent",
+              Obs.Str (String.concat "," (List.map (fun r -> method_name r.procedure) disagreeing))
+            );
+          ];
+      {
+        classification;
+        answer = w.outcome;
+        method_used = w.procedure;
+        detail = w.note;
+        procedures = results;
+      }
+  | None ->
+      {
+        classification;
+        answer = Unknown;
+        method_used = Portfolio;
+        detail =
+          Printf.sprintf "no conclusive answer among %d procedures" (List.length procs);
+        procedures = results;
+      }
 
 let pp_answer ppf = function
   | Terminating -> Format.pp_print_string ppf "terminating (T ∈ CTres∀∀)"
   | Non_terminating -> Format.pp_print_string ppf "non-terminating"
   | Unknown -> Format.pp_print_string ppf "unknown"
 
+let method_description = function
+  | Sticky_buchi -> "sticky Büchi automaton"
+  | Guarded_search -> "guarded certificate search"
+  | Weak_acyclicity_check -> "weak acyclicity"
+  | Joint_acyclicity_check -> "joint acyclicity"
+  | Mfa_check -> "model-faithful acyclicity"
+  | Portfolio -> "portfolio (inconclusive)"
+
 let pp ppf r =
   Format.fprintf ppf "@[<v>%a@,answer: %a (%s)@,detail: %s@]" Classification.pp
     r.classification pp_answer r.answer
-    (match r.method_used with
-    | Sticky_buchi -> "sticky Büchi automaton"
-    | Guarded_search -> "guarded certificate search"
-    | Weak_acyclicity_check -> "weak acyclicity")
-    r.detail
+    (method_description r.method_used)
+    r.detail;
+  if r.procedures <> [] then begin
+    Format.fprintf ppf "@,portfolio:";
+    List.iter
+      (fun p ->
+        Format.fprintf ppf "@,  %-16s %-15s %7.1f ms%s  %s" (method_name p.procedure)
+          (match p.outcome with
+          | Terminating -> "terminating"
+          | Non_terminating -> "non-terminating"
+          | Unknown -> "unknown")
+          p.wall_ms
+          (if p.cancelled then " (cancelled)" else "")
+          p.note)
+      r.procedures
+  end

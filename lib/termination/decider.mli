@@ -1,7 +1,9 @@
 (** The facade decider for CTres∀∀, dispatching on the class of the input
     TGD set: the sticky Büchi procedure (§6, sound and complete), the
     guarded certificate search (§5, see DESIGN.md), or plain weak
-    acyclicity for everything else. *)
+    acyclicity for everything else — plus {!decide_portfolio}, which
+    races every procedure valid for the classified class and takes the
+    first conclusive answer (DESIGN.md §10). *)
 
 open Chase_classes
 
@@ -10,20 +12,71 @@ type answer =
   | Non_terminating  (** some database admits an infinite valid derivation *)
   | Unknown
 
-type method_used = Sticky_buchi | Guarded_search | Weak_acyclicity_check
+type method_used =
+  | Sticky_buchi  (** Theorem 6.1 *)
+  | Guarded_search  (** Theorem 5.1 machinery, certificate search *)
+  | Weak_acyclicity_check  (** baseline sufficient condition *)
+  | Joint_acyclicity_check  (** sufficient condition, subsumes WA *)
+  | Mfa_check  (** model-faithful acyclicity, subsumes JA *)
+  | Portfolio  (** raced portfolio with no conclusive procedure *)
+
+(** One racer's outcome in a portfolio run. *)
+type procedure_report = {
+  procedure : method_used;
+  outcome : answer;
+  conclusive : bool;  (** [outcome <> Unknown] *)
+  cancelled : bool;  (** lost the race and was cooperatively stopped *)
+  wall_ms : float;
+  note : string;
+}
 
 type report = {
   classification : Classification.report;
   answer : answer;
   method_used : method_used;
   detail : string;
+  procedures : procedure_report list;
+      (** per-racer outcomes and timings; [[]] in fixed dispatch *)
 }
 
+(** Stable wire name of a method ("sticky-buchi", "portfolio", …), used
+    by [chasectl] and the serve protocol (docs/SERVICE.md). *)
+val method_name : method_used -> string
+
+(** Fixed dispatch: one procedure, chosen by classification. *)
 val decide :
   ?sticky_max_states:int ->
   ?guarded_max_depth:int ->
   ?pool:Chase_exec.Pool.t ->
   Chase_core.Tgd.t list ->
   report
+
+(** Race every procedure valid for the classified class — weak
+    acyclicity, joint acyclicity, MFA, the sticky Büchi procedure, the
+    guarded divergence search — under a shared cancellation token;
+    first conclusive answer wins and the losers are folded into
+    [procedures] with per-procedure wall-clock timings.
+
+    With a parallel [pool] the racers genuinely race across domains
+    (each running its inner searches inline — pool tasks must not
+    resubmit to the pool); with the inline pool they run in a fixed
+    priority order with an early exit.  The winner is always folded in
+    priority order, so the reported answer and method are deterministic
+    either way.  Conclusive answers cannot disagree (every racer is
+    sound for the class it is entered for); a disagreement — a bug in a
+    procedure — is surfaced as a ["portfolio.disagreement"] obs event
+    and resolved in priority order.
+
+    [prune] (default [true]) lets the sticky racer use subsumption
+    pruning ({!Chase_automata.Buchi.with_subsumption}); verdicts are
+    unaffected (DESIGN.md §10). *)
+val decide_portfolio :
+  ?sticky_max_states:int ->
+  ?guarded_max_depth:int ->
+  ?prune:bool ->
+  ?pool:Chase_exec.Pool.t ->
+  Chase_core.Tgd.t list ->
+  report
+
 val pp_answer : Format.formatter -> answer -> unit
 val pp : Format.formatter -> report -> unit

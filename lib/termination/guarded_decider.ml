@@ -136,22 +136,14 @@ let obs_proof proof =
             | Model_faithful_acyclic -> "mfa") );
       ]
 
-let decide ?(max_depth = default_max_depth) ?max_states ?(pool = Exec.inline) tgds =
+(* The candidate-database divergence sweep on its own — the
+   non-termination half of [decide], also raced directly by the decider
+   portfolio (the acyclicity ladder runs there as separate racers). *)
+let search_divergence ?(max_depth = default_max_depth) ?max_states
+    ?(cancel = Chase_exec.Cancel.none) ?(pool = Exec.inline) tgds =
   require_guarded tgds;
-  Obs.span "guarded.decide" @@ fun () ->
-  if Weak_acyclicity.is_weakly_acyclic tgds then begin
-    obs_proof Weakly_acyclic;
-    Terminating Weakly_acyclic
-  end
-  else if Joint_acyclicity.is_jointly_acyclic tgds then begin
-    obs_proof Jointly_acyclic;
-    Terminating Jointly_acyclic
-  end
-  else if Mfa.is_mfa tgds then begin
-    obs_proof Model_faithful_acyclic;
-    Terminating Model_faithful_acyclic
-  end
-  else begin
+  Obs.span "guarded.search" @@ fun () ->
+  begin
     let candidates = Array.of_list (candidate_databases tgds) in
     let n = Array.length candidates in
     Obs.gauge "guarded.candidates" n;
@@ -163,16 +155,21 @@ let decide ?(max_depth = default_max_depth) ?max_states ?(pool = Exec.inline) tg
        sequential path is unchanged); within a chunk the searches run
        across domains and the first hit {e in candidate order} wins, so
        the verdict and its witnessing database never depend on [pool].
-       Chunks after a hit are not evaluated. *)
+       Chunks after a hit are not evaluated.  The cancel token is polled
+       between chunks and before each candidate search; a cancelled
+       sweep degrades to [No_divergence_found] with the partial counts
+       (inconclusive either way). *)
     let chunk = if Exec.is_parallel pool then 2 * Exec.jobs pool else 1 in
     let rec sweep lo =
-      if lo >= n then None
+      if lo >= n || Chase_exec.Cancel.cancelled cancel then None
       else begin
         let len = min chunk (n - lo) in
         Obs.count "guarded.candidates.searched" len;
         let results =
           Exec.map_array pool
-            (fun db -> Derivation_search.divergence_evidence ~max_depth ?max_states tgds db)
+            (fun db ->
+              if Chase_exec.Cancel.cancelled cancel then None
+              else Derivation_search.divergence_evidence ~max_depth ?max_states tgds db)
             (Array.sub candidates lo len)
         in
         let rec first i =
@@ -230,3 +227,20 @@ let decide ?(max_depth = default_max_depth) ?max_states ?(pool = Exec.inline) tg
     in
     search ()
   end
+
+let decide ?max_depth ?max_states ?(pool = Exec.inline) tgds =
+  require_guarded tgds;
+  Obs.span "guarded.decide" @@ fun () ->
+  if Weak_acyclicity.is_weakly_acyclic tgds then begin
+    obs_proof Weakly_acyclic;
+    Terminating Weakly_acyclic
+  end
+  else if Joint_acyclicity.is_jointly_acyclic tgds then begin
+    obs_proof Jointly_acyclic;
+    Terminating Jointly_acyclic
+  end
+  else if Mfa.is_mfa tgds then begin
+    obs_proof Model_faithful_acyclic;
+    Terminating Model_faithful_acyclic
+  end
+  else search_divergence ?max_depth ?max_states ~pool tgds

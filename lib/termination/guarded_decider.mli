@@ -44,6 +44,20 @@ val candidate_databases : Tgd.t list -> Instance.t list
 
 val default_max_depth : int
 
+(** The candidate-database divergence sweep on its own — the
+    non-termination half of {!decide}, raced directly by the decider
+    portfolio.  Never returns [Terminating].  [cancel] is polled between
+    chunks and before each candidate search; a cancelled sweep degrades
+    to [No_divergence_found] with the partial counts.
+    @raise Invalid_argument on unguarded or multi-head TGDs. *)
+val search_divergence :
+  ?max_depth:int ->
+  ?max_states:int ->
+  ?cancel:Chase_exec.Cancel.t ->
+  ?pool:Chase_exec.Pool.t ->
+  Tgd.t list ->
+  verdict
+
 (** [pool] parallelizes the candidate-database sweep in chunks; the
     first divergence hit in candidate order wins, so the verdict and the
     witnessing database are independent of [pool] (chunks past a hit are

@@ -66,7 +66,20 @@ let state_key s =
     (String.concat "," (List.map string_of_int s.pi2))
     s.pass
 
-type context = { tgds : Tgd.t array; marking : Stickiness.t }
+type context = {
+  tgds : Tgd.t array;
+  marking : Stickiness.t;
+  (* [next] is pure per (state, letter) and identical across the
+     per-start-pair component automata, so its results are memoized once
+     per context and shared by every component.  The table is
+     mutex-protected because parallel Büchi exploration calls [next]
+     from pool worker domains; values are immutable, so sharing them
+     across domains is safe. *)
+  memo : (state * letter, state option) Hashtbl.t;
+  memo_lock : Mutex.t;
+}
+
+let tgds ctx = ctx.tgds
 
 let make_context tgds =
   if not (Stickiness.is_sticky tgds) then invalid_arg "Sticky_automaton: TGDs must be sticky";
@@ -77,7 +90,12 @@ let make_context tgds =
      weak acyclicity for such sets). *)
   if not (Tgd.constant_free_set tgds) then
     invalid_arg "Sticky_automaton: TGDs must be constant-free";
-  { tgds = Array.of_list tgds; marking = Stickiness.marking tgds }
+  {
+    tgds = Array.of_list tgds;
+    marking = Stickiness.marking tgds;
+    memo = Hashtbl.create 4096;
+    memo_lock = Mutex.create ();
+  }
 
 (* Λ_T. *)
 let alphabet ctx =
@@ -257,6 +275,58 @@ let next ctx state letter =
       end
     end
 
+(* Memoized transition: one table per context, shared by every
+   component automaton (the transition function does not depend on the
+   start pair).  Lookups and inserts are under the context mutex;
+   [next] itself runs outside it, so domains only contend on the table,
+   not on the computation. *)
+let memo_next ctx s l =
+  (* states and letters are fully structural (canonical equality types,
+     int arrays/lists), so the polymorphic hash is a sound — and much
+     cheaper — key than an encoded string *)
+  let key = (s, l) in
+  Mutex.lock ctx.memo_lock;
+  let hit = Hashtbl.find_opt ctx.memo key in
+  Mutex.unlock ctx.memo_lock;
+  match hit with
+  | Some r ->
+      Obs.incr "sticky.next.memo_hit";
+      r
+  | None ->
+      let r = next ctx s l in
+      Mutex.lock ctx.memo_lock;
+      if not (Hashtbl.mem ctx.memo key) then Hashtbl.add ctx.memo key r;
+      Mutex.unlock ctx.memo_lock;
+      r
+
+(* Subsumption order for pruned exploration (DESIGN.md §10): within a
+   group of states sharing (et, pi1, pass), [existing ≤ candidate] when
+   existing.theta ⊆ candidate.theta and existing.pi2 ⊆ candidate.pi2.
+   The transition function is monotone along ≤ — a smaller state fails
+   fewer stop checks (Θ is existentially quantified) and fewer immortal
+   checks (Π₂ likewise), and successors preserve the order — so every
+   word accepted from the candidate is accepted from the subsumer. *)
+let subsumption_key s =
+  Printf.sprintf "%s#%s#%b"
+    (Equality_type.to_string s.et)
+    (String.concat "," (List.map string_of_int s.pi1))
+    s.pass
+
+(* Sorted-list inclusion. *)
+let rec subset_sorted cmp xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs', y :: ys' ->
+      let c = cmp x y in
+      if c = 0 then subset_sorted cmp xs' ys'
+      else if c > 0 then subset_sorted cmp xs ys'
+      else false
+
+let subsumes existing candidate =
+  subset_sorted teq_compare existing.theta candidate.theta
+  && subset_sorted Int.compare existing.pi2 candidate.pi2
+
 (* The component automaton A_{e₀,Π₀}. *)
 let component ctx ~start_et ~start_class =
   let positions =
@@ -265,9 +335,10 @@ let component ctx ~start_et ~start_class =
   in
   let initial = { et = start_et; theta = []; pi1 = positions; pi2 = []; pass = false } in
   Chase_automata.Buchi.make ~initial ~alphabet:(alphabet ctx)
-    ~next:(fun s l -> next ctx s l)
+    ~next:(fun s l -> memo_next ctx s l)
     ~accepting:(fun s -> s.pass)
     ~state_key
+  |> Chase_automata.Buchi.with_subsumption ~key:subsumption_key ~subsumes
 
 (* All start pairs (e₀, Π₀): every equality type over sch(T), every class. *)
 let start_pairs ctx =

@@ -4,7 +4,6 @@
     L(A_T) ≠ ∅ iff a free connected caterpillar for T exists. *)
 
 open Chase_core
-open Chase_classes
 
 (** A letter of Λ_T: a TGD, a body atom of it, and a (possibly empty)
     pass-on set — the head positions of one existential variable. *)
@@ -28,7 +27,12 @@ type state = {
 
 val state_key : state -> string
 
-type context = { tgds : Tgd.t array; marking : Stickiness.t }
+type context
+(** TGDs, their sticky marking, and a memo table for the transition
+    function shared across all component automata of the context
+    (mutex-protected; safe with parallel exploration pools). *)
+
+val tgds : context -> Tgd.t array
 
 (** @raise Invalid_argument when the TGDs are not sticky, or when they
     mention constants (the equality-type abstraction does not track
@@ -41,7 +45,13 @@ val alphabet : context -> letter list
 (** One product transition; [None] is the reject sink. *)
 val next : context -> state -> letter -> state option
 
-(** The component automaton A_{e₀,Π₀}. *)
+(** {!next} through the context's shared memo table — what the component
+    automata actually run. *)
+val memo_next : context -> state -> letter -> state option
+
+(** The component automaton A_{e₀,Π₀}, carrying the subsumption
+    structure used by pruned exploration ({!Chase_automata.Buchi.with_subsumption},
+    DESIGN.md §10). *)
 val component :
   context ->
   start_et:Equality_type.t ->

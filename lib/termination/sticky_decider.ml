@@ -45,7 +45,7 @@ let unroll ctx ~start_et ~start_class ~(lasso : Sticky_automaton.letter Buchi.la
   let current = ref start in
   List.iter
     (fun (l : Sticky_automaton.letter) ->
-      let tgd = ctx.Sticky_automaton.tgds.(l.tgd_index) in
+      let tgd = (Sticky_automaton.tgds ctx).(l.tgd_index) in
       let body = Array.of_list (Tgd.body tgd) in
       let gamma = body.(l.gamma_index) in
       (* γ variables follow the current atom *)
@@ -79,40 +79,54 @@ let unroll ctx ~start_et ~start_class ~(lasso : Sticky_automaton.letter Buchi.la
 
 let default_unroll_turns = 3
 
-let decide_with_stats ?(max_states = 50_000) ?(unroll_turns = default_unroll_turns) ?pool tgds =
+let decide_with_stats ?(max_states = 50_000) ?(unroll_turns = default_unroll_turns) ?pool
+    ?(cancel = Chase_exec.Cancel.none) ?(prune = false) tgds =
   let ctx = Sticky_automaton.make_context tgds in
   let components = Sticky_automaton.components ctx in
   let explored = ref 0 in
   let budget_hit = ref false in
+  let cancelled = ref false in
+  (* Each component's emptiness pass reports its own exploration stats,
+     so the explored-state total comes for free — no re-exploration. *)
   let rec search = function
     | [] -> None
     | ((start_et, start_class), automaton) :: rest -> (
-        match Buchi.emptiness ~max_states ?pool automaton with
-        | Buchi.Empty ->
-            explored := !explored + (Buchi.stats ~max_states ?pool automaton).Buchi.states;
-            search rest
-        | Buchi.Budget_exceeded n ->
-            explored := !explored + n;
-            budget_hit := true;
-            search rest
-        | Buchi.Nonempty lasso ->
-            explored := !explored + (Buchi.stats ~max_states ?pool automaton).Buchi.states;
-            let prefix = unroll ctx ~start_et ~start_class ~lasso ~turns:unroll_turns in
-            Some { start_et; start_class; lasso; prefix })
+        if Chase_exec.Cancel.cancelled cancel then begin
+          cancelled := true;
+          None
+        end
+        else
+          match Buchi.emptiness_with_stats ~max_states ?pool ~cancel ~prune automaton with
+          | Buchi.Empty, st ->
+              explored := !explored + st.Buchi.states;
+              search rest
+          | Buchi.Budget_exceeded n, _ ->
+              explored := !explored + n;
+              budget_hit := true;
+              search rest
+          | Buchi.Cancelled n, _ ->
+              explored := !explored + n;
+              cancelled := true;
+              None
+          | Buchi.Nonempty lasso, st ->
+              explored := !explored + st.Buchi.states;
+              let prefix = unroll ctx ~start_et ~start_class ~lasso ~turns:unroll_turns in
+              Some { start_et; start_class; lasso; prefix })
   in
   let decision =
     match search components with
     | Some cert -> Non_terminating cert
     | None ->
-        if !budget_hit then
+        if !cancelled then Inconclusive "cancelled"
+        else if !budget_hit then
           Inconclusive
             (Printf.sprintf "state budget (%d per component) exceeded" max_states)
         else All_terminating
   in
   { components = List.length components; explored_states = !explored; decision }
 
-let decide ?max_states ?unroll_turns ?pool tgds =
-  (decide_with_stats ?max_states ?unroll_turns ?pool tgds).decision
+let decide ?max_states ?unroll_turns ?pool ?cancel ?prune tgds =
+  (decide_with_stats ?max_states ?unroll_turns ?pool ?cancel ?prune tgds).decision
 
 (* Independent certificate check: the unrolled prefix really is a valid
    (connected) caterpillar prefix for T. *)

@@ -165,8 +165,82 @@ let oblivious_tests =
         | _ -> Alcotest.fail "expected divergence elsewhere");
   ]
 
+(* --- portfolio front-end and subsumption pruning ---------------------- *)
+
+let portfolio_tests =
+  [
+    Alcotest.test_case "decide_with_stats explores each component exactly once" `Quick
+      (fun () ->
+        (* regression: Buchi.stats used to re-run explore after emptiness,
+           so the buchi.states counter read 2× the reported count *)
+        let tgds = parse "r(X,Y) -> exists Z. r(X,Z)." in
+        let st = Obs.Stats.create () in
+        let stats =
+          Obs.with_sink (Obs.Stats.sink st) (fun () -> Sticky_decider.decide_with_stats tgds)
+        in
+        Alcotest.(check bool) "explored something" true
+          (stats.Sticky_decider.explored_states > 0);
+        Alcotest.(check int) "buchi.states counter equals reported explored"
+          stats.Sticky_decider.explored_states
+          (Obs.Stats.counter st "buchi.states"));
+    Alcotest.test_case "subsumption pruning preserves sticky verdicts on the gallery" `Quick
+      (fun () ->
+        List.iter
+          (fun (s : Scenarios.t) ->
+            let tgds = Scenarios.tgds s in
+            if
+              Scenarios.single_head s
+              && Chase_classes.Stickiness.is_sticky tgds
+              && Chase_core.Tgd.constant_free_set tgds
+            then
+              let exact = Sticky_decider.decide tgds in
+              let pruned = Sticky_decider.decide ~prune:true tgds in
+              match (exact, pruned) with
+              | Sticky_decider.All_terminating, Sticky_decider.All_terminating -> ()
+              | Sticky_decider.Non_terminating _, Sticky_decider.Non_terminating _ -> ()
+              | Sticky_decider.Inconclusive _, Sticky_decider.Inconclusive _ -> ()
+              | _ -> Alcotest.failf "pruning changed the verdict on %s" s.Scenarios.name)
+          Scenarios.all);
+    Alcotest.test_case "portfolio agrees with fixed dispatch on the gallery" `Quick (fun () ->
+        List.iter
+          (fun (s : Scenarios.t) ->
+            let tgds = Scenarios.tgds s in
+            let fixed = Decider.decide tgds in
+            let port = Decider.decide_portfolio tgds in
+            (match fixed.Decider.answer with
+            | Decider.Unknown -> ()
+            | a ->
+                if port.Decider.answer <> a then
+                  Alcotest.failf "portfolio disagrees with fixed dispatch on %s"
+                    s.Scenarios.name);
+            (* the folded report lists every racer exactly once *)
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: portfolio ran at least one procedure" s.Scenarios.name)
+              true
+              (List.length port.Decider.procedures >= 1);
+            List.iter
+              (fun (p : Decider.procedure_report) ->
+                Alcotest.(check bool) "conclusive iff not Unknown"
+                  (p.Decider.outcome <> Decider.Unknown)
+                  p.Decider.conclusive)
+              port.Decider.procedures)
+          Scenarios.all);
+    Alcotest.test_case "portfolio cancels losers once a winner is conclusive" `Quick (fun () ->
+        (* weak acyclicity answers instantly here; with a parallel pool the
+           slower racers must still fold into the report, conclusive or
+           cancelled, never raise *)
+        let tgds =
+          parse "s1: emp(X) -> exists Y. reports(X,Y).\ns2: reports(X,Y) -> mgr(Y)."
+        in
+        Chase_exec.Pool.with_pool ~jobs:3 @@ fun pool ->
+        let r = Decider.decide_portfolio ~pool tgds in
+        Alcotest.(check bool) "terminating" true (r.Decider.answer = Decider.Terminating);
+        Alcotest.(check bool) "several racers" true (List.length r.Decider.procedures >= 2));
+  ]
+
 let suite =
   [
     ("linear-decider", linear_tests @ [ cross_validation_property; sticky_terminating_soundness ]);
     ("oblivious-decider", oblivious_tests);
+    ("portfolio", portfolio_tests);
   ]

@@ -299,6 +299,43 @@ let test_query_contract () =
   Alcotest.(check int) "null tuples filtered" 0 (get_int r [ "count" ]);
   check_error "parse-error" (op ~extra:[ ("query", Json.Str "q(X,") ] srv "query")
 
+(* --- decide op -------------------------------------------------------- *)
+
+let test_decide_op () =
+  let srv = server () in
+  check_ok (load srv "r(X,Y) -> exists Z. r(X,Z). r(a,b).");
+  (* Fixed dispatch: a conclusive sticky answer, no procedures field. *)
+  let r = op srv "decide" in
+  check_ok r;
+  Alcotest.(check string) "answer" "terminating" (get_str r [ "answer" ]);
+  Alcotest.(check string) "method" "sticky-buchi" (get_str r [ "method" ]);
+  Alcotest.(check bool) "no procedures in fixed mode" true
+    (Json.member "procedures" r = None);
+  (* A starved state budget degrades to an Unknown answer — never a
+     protocol error or an exception escaping the session.  The shifted
+     rule needs more than one Büchi state per component, so a budget of
+     1 genuinely starves it. *)
+  check_ok (load ~session:"t" srv "r(X,Y) -> exists Z. r(Y,Z). r(a,b).");
+  let r = op ~session:"t" ~extra:[ ("max_states", Json.Int 1) ] srv "decide" in
+  check_ok r;
+  Alcotest.(check string) "starved budget is unknown" "unknown" (get_str r [ "answer" ]);
+  let r = op ~session:"t" srv "decide" in
+  Alcotest.(check string) "full budget decides" "non-terminating" (get_str r [ "answer" ]);
+  (* Portfolio mode folds every racer into the reply. *)
+  let r = op ~extra:[ ("portfolio", Json.Bool true) ] srv "decide" in
+  check_ok r;
+  Alcotest.(check string) "portfolio answer" "terminating" (get_str r [ "answer" ]);
+  (match get r [ "procedures" ] with
+  | Json.Arr (_ :: _ as procs) ->
+      List.iter
+        (fun p ->
+          ignore (get_str p [ "name" ]);
+          ignore (get_str p [ "outcome" ]);
+          ignore (get_bool p [ "conclusive" ]))
+        procs
+  | v -> Alcotest.failf "expected a non-empty procedures array, got %s" (Json.to_string v));
+  check_error "unknown-session" (op ~session:"nope" srv "decide")
+
 let test_id_echo () =
   let srv = server () in
   let r = ask srv {|{"id": "abc-7", "op": "stats", "session": "nope"}|} in
@@ -415,6 +452,7 @@ let suite =
         Alcotest.test_case "retract falls back to full re-chase" `Quick test_retract_full_rechase;
         Alcotest.test_case "malformed input never kills the server" `Quick test_malformed_input;
         Alcotest.test_case "query needs saturation, filters nulls" `Quick test_query_contract;
+        Alcotest.test_case "decide: fixed, starved budget, portfolio" `Quick test_decide_op;
         Alcotest.test_case "request ids echo into replies" `Quick test_id_echo;
         Alcotest.test_case "stale-socket unlink refuses non-sockets" `Quick
           test_stale_socket_guard;
